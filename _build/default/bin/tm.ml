@@ -1,0 +1,327 @@
+(* Command-line front end.
+
+     tm check history.txt --property du --timeline
+     tm gen --txns 8 --seed 3 | tm check - --property all
+     tm run --stm tl2 --threads 3 --check
+     tm monitor history.txt
+     tm figures
+
+   Histories use the textual format of {!Tm_safety.Parse} (see
+   [tm check --help]). *)
+
+open Tm_safety
+open Cmdliner
+
+(* --- common ------------------------------------------------------------ *)
+
+let read_input = function
+  | "-" ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 4096
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+  | path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let history_of_input input =
+  match Parse.of_string (read_input input) with
+  | Ok h -> Ok h
+  | Error msg -> Error (`Msg ("cannot parse history: " ^ msg))
+
+let input_arg =
+  let doc = "History file in the tm text format; $(b,-) reads stdin." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let max_nodes_arg =
+  let doc =
+    "Search-node budget per check; exhausted budgets report 'unknown' \
+     (exit 2) instead of running unbounded."
+  in
+  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~doc)
+
+let timeline_arg =
+  let doc = "Print the history as an ASCII timeline first." in
+  Arg.(value & flag & info [ "timeline"; "t" ] ~doc)
+
+(* --- tm check ----------------------------------------------------------- *)
+
+type property =
+  | P_du
+  | P_opacity
+  | P_final_state
+  | P_tms2
+  | P_rco
+  | P_ser
+  | P_strict_ser
+  | P_si
+  | P_all
+
+let property_conv =
+  Arg.enum
+    [
+      ("du", P_du);
+      ("opacity", P_opacity);
+      ("final-state", P_final_state);
+      ("tms2", P_tms2);
+      ("rco", P_rco);
+      ("serializable", P_ser);
+      ("strict-serializable", P_strict_ser);
+      ("si", P_si);
+      ("all", P_all);
+    ]
+
+let rec checks_of_property = function
+  | P_du -> [ ("du-opacity", fun ?max_nodes h -> Du_opacity.check ?max_nodes h) ]
+  | P_opacity -> [ ("opacity", fun ?max_nodes h -> Opacity.check ?max_nodes h) ]
+  | P_final_state ->
+      [ ("final-state opacity", fun ?max_nodes h -> Final_state.check ?max_nodes h) ]
+  | P_tms2 -> [ ("TMS2", fun ?max_nodes h -> Tms2.check ?max_nodes h) ]
+  | P_rco ->
+      [ ("read-commit order (GHS'08)", fun ?max_nodes h -> Rco.check ?max_nodes h) ]
+  | P_ser ->
+      [ ("serializability", fun ?max_nodes h -> Serializable.check ?max_nodes h) ]
+  | P_strict_ser ->
+      [
+        ( "strict serializability",
+          fun ?max_nodes h -> Serializable.check_strict ?max_nodes h );
+      ]
+  | P_si ->
+      [
+        ( "snapshot isolation",
+          fun ?max_nodes h -> Snapshot_isolation.check ?max_nodes h );
+      ]
+  | P_all ->
+      List.concat_map checks_of_property
+        [
+          P_du; P_opacity; P_final_state; P_tms2; P_rco; P_ser; P_strict_ser;
+          P_si;
+        ]
+
+let check_cmd =
+  let property_arg =
+    let doc = "Property to check: $(docv) ∈ du|opacity|final-state|tms2|rco|serializable|strict-serializable|si|all." in
+    Arg.(value & opt property_conv P_du & info [ "property"; "p" ] ~docv:"PROP" ~doc)
+  in
+  let certificate_arg =
+    let doc = "Print the serialization certificate on success." in
+    Arg.(value & flag & info [ "certificate"; "c" ] ~doc)
+  in
+  let shrink_arg =
+    let doc =
+      "On violation, shrink the history to a locally minimal violating core \
+       and print it as a timeline."
+    in
+    Arg.(value & flag & info [ "shrink"; "s" ] ~doc)
+  in
+  let run input property max_nodes timeline certificate shrink =
+    match history_of_input input with
+    | Error e -> e
+    | Ok h ->
+        if timeline then Fmt.pr "%s@." (Pretty.timeline h);
+        let worst = ref 0 in
+        List.iter
+          (fun (name, check) ->
+            match check ?max_nodes h with
+            | Verdict.Sat s ->
+                if certificate then
+                  Fmt.pr "%-28s yes  [%a]@." name Serialization.pp s
+                else Fmt.pr "%-28s yes@." name
+            | Verdict.Unsat why -> (
+                worst := max !worst 1;
+                Fmt.pr "%-28s NO   (%s)@." name why;
+                if shrink then
+                  match
+                    Shrink.minimal_violation
+                      ~check:(fun h -> check ?max_nodes h)
+                      h
+                  with
+                  | Some core ->
+                      Fmt.pr "  minimal violating core (%d events):@.%s"
+                        (History.length core) (Pretty.timeline core);
+                      Fmt.pr "  text: %s@." (Parse.to_text core)
+                  | None -> ())
+            | Verdict.Unknown why ->
+                worst := max !worst 2;
+                Fmt.pr "%-28s ???  (%s)@." name why)
+          (checks_of_property property);
+        if !worst = 0 then `Ok () else `Error_code !worst
+  in
+  let term =
+    Term.(
+      const run $ input_arg $ property_arg $ max_nodes_arg $ timeline_arg
+      $ certificate_arg $ shrink_arg)
+  in
+  let handle = function
+    | `Ok () -> 0
+    | `Error_code n -> n
+    | `Msg m ->
+        Fmt.epr "tm check: %s@." m;
+        3
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a history against a TM consistency property")
+    Term.(const handle $ term)
+
+(* --- tm gen ------------------------------------------------------------- *)
+
+let gen_cmd =
+  let txns = Arg.(value & opt int 8 & info [ "txns" ] ~doc:"Transactions.") in
+  let vars = Arg.(value & opt int 3 & info [ "vars" ] ~doc:"Variables.") in
+  let threads =
+    Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Interleaving degree.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let count =
+    Arg.(value & opt int 1 & info [ "count" ] ~doc:"How many histories (one per line).")
+  in
+  let unique =
+    Arg.(value & flag & info [ "unique-writes" ] ~doc:"Unique-writes mode (Theorem 11 premise).")
+  in
+  let random_values =
+    Arg.(
+      value & flag
+      & info [ "random-values" ]
+          ~doc:"Uniform random read results (mostly broken histories) instead \
+                of snapshot semantics.")
+  in
+  let run txns vars threads seed count unique random_values =
+    let params =
+      {
+        Gen.default with
+        n_txns = txns;
+        n_vars = vars;
+        n_threads = threads;
+        unique_writes = unique;
+        mode = (if random_values then `Random_values else `Snapshot_values);
+      }
+    in
+    for i = 0 to count - 1 do
+      let h = Gen.run_seed params (seed + i) in
+      print_endline (Parse.to_text h)
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate random well-formed histories")
+    Term.(const run $ txns $ vars $ threads $ seed $ count $ unique $ random_values)
+
+(* --- tm run ------------------------------------------------------------- *)
+
+let run_cmd =
+  let stm =
+    let names = List.map fst Stm.Registry.algorithms in
+    let stm_conv = Arg.enum (List.map (fun n -> (n, n)) names) in
+    Arg.(value & opt stm_conv "tl2" & info [ "stm" ] ~doc:"STM algorithm.")
+  in
+  let threads = Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Threads.") in
+  let txns =
+    Arg.(value & opt int 5 & info [ "txns" ] ~doc:"Transactions per thread.")
+  in
+  let ops = Arg.(value & opt int 3 & info [ "ops" ] ~doc:"Operations per transaction.") in
+  let vars = Arg.(value & opt int 4 & info [ "vars" ] ~doc:"Variables.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed.") in
+  let zipf =
+    Arg.(value & opt float 0.0 & info [ "zipf" ] ~doc:"Zipf skew (0 = uniform).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Check the recorded history for du-opacity.")
+  in
+  let run stm threads txns ops vars seed zipf check timeline =
+    let params =
+      {
+        Stm.Workload.default with
+        n_threads = threads;
+        txns_per_thread = txns;
+        ops_per_txn = ops;
+        n_vars = vars;
+        zipf_theta = zipf;
+      }
+    in
+    let r = Sim.Runner.run ~stm ~params ~seed () in
+    let h = r.Sim.Runner.history in
+    let s = r.Sim.Runner.stats in
+    if timeline then Fmt.pr "%s@." (Pretty.timeline h)
+    else print_endline (Parse.to_text h);
+    Fmt.epr "# %s: %d commits, %d op-aborts, %d tryC-aborts, %d events@." stm
+      s.Stm.Harness.commits s.Stm.Harness.op_aborts s.Stm.Harness.commit_aborts
+      (History.length h);
+    if not check then 0
+    else
+      match Du_opacity.check_fast ~max_nodes:5_000_000 h with
+      | Verdict.Sat _ ->
+          Fmt.epr "# du-opaque: yes@.";
+          0
+      | Verdict.Unsat why ->
+          Fmt.epr "# du-opaque: NO — %s@." why;
+          1
+      | Verdict.Unknown why ->
+          Fmt.epr "# du-opaque: unknown — %s@." why;
+          2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an STM workload under the deterministic simulator")
+    Term.(
+      const run $ stm $ threads $ txns $ ops $ vars $ seed $ zipf $ check
+      $ timeline_arg)
+
+(* --- tm monitor --------------------------------------------------------- *)
+
+let monitor_cmd =
+  let run input max_nodes =
+    match history_of_input input with
+    | Error (`Msg m) ->
+        Fmt.epr "tm monitor: %s@." m;
+        3
+    | Ok h -> (
+        let m = Monitor.create ?max_nodes () in
+        match Monitor.push_all m (History.to_list h) with
+        | `Ok ->
+            Fmt.pr "ok: every prefix (%d events, %d searches, %d nodes) is \
+                    du-opaque@."
+              (Monitor.events_seen m) (Monitor.searches_run m)
+              (Monitor.nodes_total m);
+            0
+        | `Violation why ->
+            Fmt.pr "VIOLATION: %s@." why;
+            (match Monitor.violation_index m with
+            | Some i ->
+                Fmt.pr "first violating prefix:@.%s@."
+                  (Pretty.timeline (History.prefix h i))
+            | None -> ());
+            1
+        | `Budget why ->
+            Fmt.pr "unknown: %s@." why;
+            2)
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Stream a history through the online du-opacity monitor")
+    Term.(const run $ input_arg $ max_nodes_arg)
+
+(* --- tm figures ---------------------------------------------------------- *)
+
+let figures_cmd =
+  let run () =
+    List.iter
+      (fun (e : Figures.expectation) ->
+        Fmt.pr "@.=== %s — %s ===@.%s" e.name e.claim (Pretty.timeline e.history);
+        Fmt.pr "  text: %s@." (Parse.to_text e.history))
+      Figures.catalog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Print the paper's example histories (Figures 1-6)")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "tm" ~version:"1.0.0"
+      ~doc:"Transactional-memory history checkers (du-opacity and friends)"
+  in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; gen_cmd; run_cmd; monitor_cmd; figures_cmd ]))

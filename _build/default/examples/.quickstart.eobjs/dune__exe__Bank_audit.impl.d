@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Array Du_opacity Event Fmt Hashtbl History List Semantics Serialization Sim Stm Tm_safety Txn Verdict

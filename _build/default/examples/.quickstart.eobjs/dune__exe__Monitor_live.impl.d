@@ -1,0 +1,1 @@
+examples/monitor_live.ml: Fmt History List Monitor Pretty Sim Stm Tm_safety

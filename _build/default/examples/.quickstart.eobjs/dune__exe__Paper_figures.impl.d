@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Du_opacity Figures Final_state Fmt List Opacity Pretty Rco Search Serialization Tm_safety Tms2 Verdict

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsl Du_opacity Final_state Fmt Opacity Parse Pretty Serializable Serialization Sim Stm Tm_safety Verdict

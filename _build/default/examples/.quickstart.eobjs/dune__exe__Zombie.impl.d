@@ -1,0 +1,1 @@
+examples/zombie.ml: Du_opacity Event Fmt History List Sim Stm Tm_safety Verdict

@@ -1,0 +1,1 @@
+lib/checker/completion.ml: Event History Int List Txn

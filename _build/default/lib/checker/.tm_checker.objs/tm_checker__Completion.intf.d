@@ -1,0 +1,1 @@
+lib/checker/completion.mli: Event History

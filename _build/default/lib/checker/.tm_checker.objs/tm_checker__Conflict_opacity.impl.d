@@ -1,0 +1,1 @@
+lib/checker/conflict_opacity.ml: Event Hashtbl History Int List Option Serialization Txn

@@ -1,0 +1,1 @@
+lib/checker/conflict_opacity.mli: Event History Serialization

@@ -1,0 +1,1 @@
+lib/checker/dot.ml: Buffer Conflict_opacity Fmt History List Serialization Txn

@@ -1,0 +1,1 @@
+lib/checker/dot.mli: History Serialization

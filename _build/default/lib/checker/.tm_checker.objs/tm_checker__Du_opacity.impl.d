@@ -1,0 +1,1 @@
+lib/checker/du_opacity.ml: Conflict_opacity Search Verdict

@@ -1,0 +1,1 @@
+lib/checker/du_opacity.mli: Event History Search Verdict

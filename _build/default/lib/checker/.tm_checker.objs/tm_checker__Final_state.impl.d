@@ -1,0 +1,1 @@
+lib/checker/final_state.ml: Search

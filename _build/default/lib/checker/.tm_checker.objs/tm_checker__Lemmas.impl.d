@@ -1,0 +1,1 @@
+lib/checker/lemmas.ml: Hashtbl History List Serialization Txn

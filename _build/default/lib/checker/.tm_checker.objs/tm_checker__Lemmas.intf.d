@@ -1,0 +1,1 @@
+lib/checker/lemmas.mli: History Serialization

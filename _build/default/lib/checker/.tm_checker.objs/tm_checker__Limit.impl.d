@@ -1,0 +1,1 @@
+lib/checker/limit.ml: Du_opacity Event Fmt History Int List Serialization Txn Verdict

@@ -1,0 +1,1 @@
+lib/checker/limit.mli: Event History

@@ -1,0 +1,1 @@
+lib/checker/monitor.ml: Du_opacity Event Fmt History List Search Serialization Verdict

@@ -1,0 +1,1 @@
+lib/checker/monitor.mli: Event History Serialization

@@ -1,0 +1,1 @@
+lib/checker/opacity.ml: Final_state Fmt History List Serialization Verdict

@@ -1,0 +1,1 @@
+lib/checker/opacity.mli: History Verdict

@@ -1,0 +1,1 @@
+lib/checker/polygraph.ml: Array Du_opacity Event Fmt Hashtbl History List Option Serialization Txn Verdict

@@ -1,0 +1,1 @@
+lib/checker/polygraph.mli: History Serialization Verdict

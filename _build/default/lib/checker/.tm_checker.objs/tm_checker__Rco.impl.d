@@ -1,0 +1,1 @@
+lib/checker/rco.ml: History List Search Txn

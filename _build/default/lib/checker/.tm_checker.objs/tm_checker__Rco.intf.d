@@ -1,0 +1,1 @@
+lib/checker/rco.mli: Event History Verdict

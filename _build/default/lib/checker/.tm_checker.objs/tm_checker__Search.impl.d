@@ -1,0 +1,1 @@
+lib/checker/search.ml: Array Buffer Event Fmt Hashtbl History Int List Serialization Txn Verdict

@@ -1,0 +1,1 @@
+lib/checker/search.mli: Event History Verdict

@@ -1,0 +1,1 @@
+lib/checker/semantics.ml: Array Event Fmt Hashtbl History List Op Txn

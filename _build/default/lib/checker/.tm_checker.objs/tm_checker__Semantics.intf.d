@@ -1,0 +1,1 @@
+lib/checker/semantics.mli: Event History

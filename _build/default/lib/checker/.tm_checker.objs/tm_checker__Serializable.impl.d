@@ -1,0 +1,1 @@
+lib/checker/serializable.ml: History List Search

@@ -1,0 +1,1 @@
+lib/checker/serializable.mli: History Verdict

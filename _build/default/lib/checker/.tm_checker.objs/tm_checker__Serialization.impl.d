@@ -1,0 +1,1 @@
+lib/checker/serialization.ml: Array Event Fmt Hashtbl History Int List Op Option Semantics Set Txn

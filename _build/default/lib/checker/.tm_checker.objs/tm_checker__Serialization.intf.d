@@ -1,0 +1,1 @@
+lib/checker/serialization.mli: Event Format History Set

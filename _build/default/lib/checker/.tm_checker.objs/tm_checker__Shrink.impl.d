@@ -1,0 +1,1 @@
+lib/checker/shrink.ml: Array Du_opacity History Int List Op Txn Verdict

@@ -1,0 +1,1 @@
+lib/checker/shrink.mli: History Verdict

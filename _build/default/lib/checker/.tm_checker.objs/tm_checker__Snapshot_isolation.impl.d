@@ -1,0 +1,1 @@
+lib/checker/snapshot_isolation.ml: Array Event Fmt Fun History Int List Map Option Serialization Txn Verdict

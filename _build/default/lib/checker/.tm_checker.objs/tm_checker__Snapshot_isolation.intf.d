@@ -1,0 +1,1 @@
+lib/checker/snapshot_isolation.mli: History Verdict

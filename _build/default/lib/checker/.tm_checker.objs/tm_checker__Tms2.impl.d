@@ -1,0 +1,1 @@
+lib/checker/tms2.ml: Array Event History List Op Search Txn

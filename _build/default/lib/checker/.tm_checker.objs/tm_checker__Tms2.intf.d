@@ -1,0 +1,1 @@
+lib/checker/tms2.mli: Event History Verdict

@@ -1,0 +1,1 @@
+lib/checker/verdict.ml: Fmt Serialization

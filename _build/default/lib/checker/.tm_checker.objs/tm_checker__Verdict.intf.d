@@ -1,0 +1,1 @@
+lib/checker/verdict.mli: Format Serialization

@@ -1,0 +1,61 @@
+(* Events Definition 2 appends for transaction [txn] under [decision]. *)
+let completion_suffix (txn : Txn.t) decision =
+  let k = txn.Txn.id in
+  match txn.Txn.status with
+  | Txn.Committed | Txn.Aborted -> []
+  | Txn.Commit_pending ->
+      [ Event.Res (k, (if decision then Event.Committed else Event.Aborted)) ]
+  | Txn.Abort_pending -> [ Event.Res (k, Event.Aborted) ]
+  | Txn.Live ->
+      if Txn.is_complete txn then
+        [ Event.Inv (k, Event.Try_commit); Event.Res (k, Event.Aborted) ]
+      else [ Event.Res (k, Event.Aborted) ]
+
+let canonical ~decide h =
+  let suffix =
+    List.concat_map
+      (fun txn -> completion_suffix txn (decide txn.Txn.id))
+      (History.infos h)
+  in
+  History.of_events_exn (History.to_list h @ suffix)
+
+let enumerate ?(limit = 1024) h =
+  let pending = History.commit_pending h in
+  let rec vectors = function
+    | [] -> [ fun _ -> false ]
+    | k :: rest ->
+        let tails = vectors rest in
+        List.concat_map
+          (fun tail ->
+            [
+              (fun k' -> k' = k || tail k');
+              (fun k' -> k' <> k && tail k');
+            ])
+          tails
+  in
+  let all = vectors pending in
+  let all =
+    if List.length all > limit then List.filteri (fun i _ -> i < limit) all
+    else all
+  in
+  List.map (fun decide -> canonical ~decide h) all
+
+let is_completion candidate ~of_:h =
+  History.is_t_complete candidate
+  &&
+  let txns_h = List.sort Int.compare (History.txns h) in
+  let txns_c = List.sort Int.compare (History.txns candidate) in
+  List.equal Int.equal txns_h txns_c
+  && List.for_all
+       (fun (txn : Txn.t) ->
+         let per_tx hh k =
+           List.filter (fun ev -> Event.tx_of ev = k) (History.to_list hh)
+         in
+         let base = per_tx h txn.Txn.id in
+         let got = per_tx candidate txn.Txn.id in
+         let expected_with decision =
+           base @ completion_suffix txn decision
+         in
+         List.equal Event.equal got (expected_with true)
+         || List.equal Event.equal got (expected_with false))
+       (History.infos h)

@@ -1,0 +1,27 @@
+(** Completions of a history (Definition 2), made explicit.
+
+    A completion resolves every incomplete transaction: a pending
+    [read]/[write]/[tryA] responds [A_k]; a pending [tryC] responds [C_k]
+    {e or} [A_k] (the one free choice); a complete but not t-complete
+    transaction gets [tryC_k · A_k] appended.  Where the inserted events land
+    in the sequence does not affect equivalence (per-transaction
+    subsequences are what equivalence compares), so this module inserts
+    canonically at the end of the history.
+
+    The search engine handles completions implicitly through commit
+    decisions; this module exists so tests can check Definition 3(1) — "S is
+    equivalent to {e some} completion of H" — literally. *)
+
+val canonical : decide:(Event.tx -> bool) -> History.t -> History.t
+(** The completion committing exactly the pending-[tryC] transactions that
+    [decide] selects (the decision is ignored for transactions whose fate is
+    already sealed). *)
+
+val enumerate : ?limit:int -> History.t -> History.t list
+(** All completions, one per decision vector over the pending-[tryC]
+    transactions ([2^p]; capped at [limit], default 1024). *)
+
+val is_completion : History.t -> of_:History.t -> bool
+(** Is the first history a completion of [of_] (with canonical or any other
+    insertion points)?  Checked per Definition 2, transaction by
+    transaction. *)

@@ -1,0 +1,100 @@
+type access = { txn : Event.tx; time : int; is_write : bool }
+
+let accesses_per_var h =
+  let tbl : (Event.tvar, access list) Hashtbl.t = Hashtbl.create 16 in
+  let add var a =
+    Hashtbl.replace tbl var (a :: Option.value ~default:[] (Hashtbl.find_opt tbl var))
+  in
+  List.iter
+    (fun (txn : Txn.t) ->
+      (* A committed writer's writes take effect at its commit point, which
+         deferred-update implementations reach at the tryC invocation. *)
+      (if txn.Txn.status = Txn.Committed then
+         match Txn.tryc_inv_index txn with
+         | Some time ->
+             List.iter
+               (fun (var, _) ->
+                 add var { txn = txn.Txn.id; time; is_write = true })
+               (Txn.final_writes txn)
+         | None -> ());
+      List.iter
+        (fun (r : Txn.read) ->
+          match r.Txn.kind with
+          | `Internal _ -> ()
+          | `External ->
+              add r.Txn.var
+                { txn = txn.Txn.id; time = r.Txn.res_index; is_write = false })
+        (Txn.reads txn))
+    (History.infos h);
+  tbl
+
+let conflict_graph h =
+  let tbl = accesses_per_var h in
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun _var accesses ->
+      let sorted =
+        List.sort (fun a b -> Int.compare a.time b.time) accesses
+      in
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if a.txn <> b.txn && (a.is_write || b.is_write) then
+                  edges := (a.txn, b.txn) :: !edges)
+              rest;
+            pairs rest
+      in
+      pairs sorted)
+    tbl;
+  (* Real-time order is part of the serialization requirement. *)
+  let txns = History.txns h in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> if History.rt_precedes h a b then edges := (a, b) :: !edges)
+        txns)
+    txns;
+  List.sort_uniq compare !edges
+
+let topological_order h edges =
+  let txns = History.txns h in
+  let pending = Hashtbl.create 16 in
+  let succs = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace pending k 0) txns;
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace pending b (1 + Hashtbl.find pending b);
+      Hashtbl.replace succs a (b :: Option.value ~default:[] (Hashtbl.find_opt succs a)))
+    edges;
+  (* Kahn's algorithm; ties broken by first event so that the order matches
+     the history on conflict-free segments. *)
+  let ready () =
+    List.filter (fun k -> Hashtbl.find pending k = 0) txns
+    |> List.sort (fun a b ->
+           Int.compare (History.info h a).Txn.first_index
+             (History.info h b).Txn.first_index)
+  in
+  let rec go acc remaining =
+    if remaining = 0 then Some (List.rev acc)
+    else
+      match List.find_opt (fun k -> Hashtbl.find pending k = 0) (ready ()) with
+      | None -> None (* cycle *)
+      | Some k ->
+          Hashtbl.replace pending k (-1);
+          List.iter
+            (fun b -> Hashtbl.replace pending b (Hashtbl.find pending b - 1))
+            (Option.value ~default:[] (Hashtbl.find_opt succs k));
+          go (k :: acc) (remaining - 1)
+  in
+  go [] (List.length txns)
+
+let attempt h =
+  match topological_order h (conflict_graph h) with
+  | None -> None
+  | Some order ->
+      let s = Serialization.make ~order ~committed:(History.committed h) in
+      (match Serialization.validate ~claim:Serialization.Du_opaque h s with
+      | Ok () -> Some s
+      | Error _ -> None)

@@ -1,0 +1,22 @@
+(** Polynomial fast path: serialization by conflict order.
+
+    Orders transactions by the conflict relation of the history (writes
+    take effect at the [tryC] invocation of a committed writer, reads at
+    their response), with the canonical completion that aborts every
+    transaction not committed in [H].  If the conflict graph is acyclic and
+    the resulting order passes the definitional validator
+    ({!Serialization.validate} with claim [Du_opaque]), the history is
+    du-opaque and the certificate is returned.
+
+    This is a {e sufficient} condition only — think conflict
+    serializability vs view serializability.  It is exact enough in
+    practice to dispatch nearly all histories recorded from well-behaved
+    STM runs, where every read is from a committed-before-the-read writer
+    and the conflict order is the serialization order; {!Du_opacity.check_fast}
+    falls back to the exponential search when this returns [None]. *)
+
+val attempt : History.t -> Serialization.t option
+
+val conflict_graph : History.t -> (Event.tx * Event.tx) list
+(** The conflict edges used by {!attempt} (exposed for tests and for the
+    ablation benchmark). *)

@@ -1,0 +1,55 @@
+let status_colour = function
+  | Txn.Committed -> "palegreen"
+  | Txn.Aborted -> "lightcoral"
+  | Txn.Commit_pending -> "khaki"
+  | Txn.Abort_pending -> "lightsalmon"
+  | Txn.Live -> "lightgrey"
+
+let rt_edges h =
+  let txns = History.txns h in
+  let direct a b =
+    History.rt_precedes h a b
+    && not
+         (List.exists
+            (fun c ->
+              c <> a && c <> b
+              && History.rt_precedes h a c
+              && History.rt_precedes h c b)
+            txns)
+  in
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if direct a b then Some (a, b) else None) txns)
+    txns
+
+let of_history ?serialization h =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pr "digraph history {\n  rankdir=LR;\n  node [style=filled, shape=box];\n";
+  let position k =
+    match serialization with
+    | None -> None
+    | Some s ->
+        let rec go i = function
+          | [] -> None
+          | k' :: _ when k' = k -> Some i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 s.Serialization.order
+  in
+  List.iter
+    (fun (txn : Txn.t) ->
+      let label =
+        match position txn.Txn.id with
+        | Some p -> Fmt.str "T%d\\n%a\\nS[%d]" txn.Txn.id Txn.pp_status txn.Txn.status p
+        | None -> Fmt.str "T%d\\n%a" txn.Txn.id Txn.pp_status txn.Txn.status
+      in
+      pr "  t%d [label=\"%s\", fillcolor=%s];\n" txn.Txn.id label
+        (status_colour txn.Txn.status))
+    (History.infos h);
+  List.iter (fun (a, b) -> pr "  t%d -> t%d;\n" a b) (rt_edges h);
+  List.iter
+    (fun (a, b) -> pr "  t%d -> t%d [style=dashed, color=grey40];\n" a b)
+    (Conflict_opacity.conflict_graph h
+    |> List.filter (fun (a, b) -> not (History.rt_precedes h a b)));
+  pr "}\n";
+  Buffer.contents buf

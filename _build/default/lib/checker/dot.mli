@@ -1,0 +1,8 @@
+(** Graphviz export of a history's precedence structure, for debugging
+    violations visually: one node per transaction (coloured by status),
+    solid edges for real-time order (transitively reduced), dashed edges
+    for conflict order, and — when a serialization is supplied — node
+    labels carrying its positions. *)
+
+val of_history : ?serialization:Serialization.t -> History.t -> string
+(** DOT source ([digraph]). *)

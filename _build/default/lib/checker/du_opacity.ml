@@ -1,0 +1,9 @@
+let check_stats ?max_nodes ?hint h =
+  Search.search { Search.du with max_nodes; hint } h
+
+let check ?max_nodes ?hint h = fst (check_stats ?max_nodes ?hint h)
+
+let check_fast ?max_nodes h =
+  match Conflict_opacity.attempt h with
+  | Some s -> Verdict.Sat s
+  | None -> check ?max_nodes h

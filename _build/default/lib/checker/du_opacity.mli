@@ -1,0 +1,25 @@
+(** Du-opacity (Definition 3) — the paper's contribution.
+
+    A history [H] is du-opaque if some legal t-complete t-sequential history
+    [S] is equivalent to a completion of [H], respects [H]'s real-time
+    order, and every value-returning [read_k(X)] is legal in its local
+    serialization [S^{k,X}_H]: the prefix of [S] up to the read, with every
+    transaction that had not invoked [tryC] in [H] before the read's
+    response filtered out.  The filter is what makes the deferred-update
+    semantics explicit — no read can depend on a transaction that has not
+    started committing.
+
+    Positive verdicts carry a certificate checked by
+    {!Serialization.validate}; du-opacity is prefix-closed (Corollary 2), so
+    a verdict for [H] sound for every prefix too. *)
+
+val check : ?max_nodes:int -> ?hint:Event.tx list -> History.t -> Verdict.t
+
+val check_stats :
+  ?max_nodes:int -> ?hint:Event.tx list -> History.t -> Verdict.t * Search.stats
+
+val check_fast : ?max_nodes:int -> History.t -> Verdict.t
+(** Tries the polynomial conflict-order fast path ({!Conflict_opacity})
+    before falling back to the exact search.  Same verdicts as {!check} on
+    every input; faster on histories whose conflict order is already a valid
+    serialization (e.g. histories recorded from well-behaved STMs). *)

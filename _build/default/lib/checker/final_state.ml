@@ -1,0 +1,4 @@
+let check_stats ?max_nodes h =
+  Search.search { Search.default with max_nodes } h
+
+let check ?max_nodes h = fst (check_stats ?max_nodes h)

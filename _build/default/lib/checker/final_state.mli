@@ -1,0 +1,11 @@
+(** Final-state opacity (Definition 4, Guerraoui & Kapalka).
+
+    A history is final-state opaque if some legal t-complete t-sequential
+    history is equivalent to one of its completions and respects its
+    real-time order.  Final-state opacity is {e not} prefix-closed (the
+    paper's Figure 3) — {!Opacity} quantifies over prefixes to repair
+    that. *)
+
+val check : ?max_nodes:int -> History.t -> Verdict.t
+
+val check_stats : ?max_nodes:int -> History.t -> Verdict.t * Search.stats

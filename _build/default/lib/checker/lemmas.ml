@@ -1,0 +1,69 @@
+let project_prefix h s i =
+  let hi = History.prefix h i in
+  let txns_i = History.txns hi in
+  let order =
+    List.filter (fun k -> List.mem k txns_i) s.Serialization.order
+  in
+  let committed =
+    List.filter
+      (fun k ->
+        let txn = History.info hi k in
+        match txn.Txn.status with
+        | Txn.Committed -> true
+        | Txn.Commit_pending -> Serialization.commits s k
+        | Txn.Aborted | Txn.Abort_pending | Txn.Live -> false)
+      order
+  in
+  Serialization.make ~order ~committed
+
+let positions order =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i k -> Hashtbl.replace tbl k i) order;
+  fun k -> Hashtbl.find tbl k
+
+let respects_live_sets h s =
+  let order = s.Serialization.order in
+  let pos = positions order in
+  List.for_all
+    (fun k ->
+      List.for_all
+        (fun m -> (not (History.ls_precedes h k m)) || pos k < pos m)
+        order)
+    order
+
+let normalize_live_sets h s =
+  (* Iteratively move each transaction k to immediately precede the earliest
+     (in the current order) transaction l with k ≺LS l, whenever l currently
+     precedes k. *)
+  let move_before order k l =
+    let without = List.filter (fun x -> x <> k) order in
+    let rec insert = function
+      | [] -> [ k ]
+      | x :: rest when x = l -> k :: x :: rest
+      | x :: rest -> x :: insert rest
+    in
+    insert without
+  in
+  let step order =
+    let pos = positions order in
+    let offending k =
+      (* earliest (in the current order) l with k ≺LS l, if it precedes k *)
+      let earliest =
+        List.find_opt (fun l -> l <> k && History.ls_precedes h k l) order
+      in
+      match earliest with
+      | Some l when pos l < pos k -> Some (k, l)
+      | Some _ | None -> None
+    in
+    List.find_map offending order
+  in
+  let rec fix order fuel =
+    if fuel = 0 then order
+    else
+      match step order with
+      | None -> order
+      | Some (k, l) -> fix (move_before order k l) (fuel - 1)
+  in
+  let n = List.length s.Serialization.order in
+  let order = fix s.Serialization.order (n * n + 1) in
+  { s with Serialization.order }

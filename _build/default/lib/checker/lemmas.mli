@@ -1,0 +1,40 @@
+(** The paper's constructive lemmas, implemented as certificate
+    transformers.
+
+    These are the workhorses of the safety proofs: Lemma 1 gives
+    prefix-closure (Corollary 2) and, with Lemma 4 and König's path lemma,
+    limit-closure under the completeness restriction (Theorem 5).  Making
+    them executable lets the test suite check their contracts on thousands of
+    random histories — effectively a mechanised sanity check of the proofs —
+    and lets the online monitor reuse certificates across prefixes. *)
+
+val project_prefix : History.t -> Serialization.t -> int -> Serialization.t
+(** Lemma 1: from a du-opaque serialization [S] of [H], build a serialization
+    [S^i] of [H^i = prefix h i] whose transaction sequence is a subsequence
+    of [S]'s.  Per the paper's construction: transactions of [H^i] keep
+    their order from [S]; a transaction t-complete in [H^i] keeps its
+    decision; one whose [tryC] is pending in [H^i] keeps its decision from
+    [S]; every other transaction aborts.
+
+    {b Caveat found by this reproduction}: the construction — and the
+    lemma's statement — is only sound under the {e unique-writes}
+    assumption.  With duplicate writes the proof's inference "the
+    serialization's writer of a legal read must have begun committing
+    before the read returned" fails (local-serialization legality is
+    value-based: an older retained writer of the same value may justify
+    the read), and [Tm_figures.Findings.lemma1_gap] is an explicit
+    counterexample where no serialization of the prefix inherits [S]'s
+    order.  Property tests confirm the construction on unique-writes
+    histories and the survival of Corollary 2's statement (prefix
+    du-opacity, by re-search) in general.  See EXPERIMENTS.md. *)
+
+val normalize_live_sets : History.t -> Serialization.t -> Serialization.t
+(** Lemma 4: given a serialization [S] of a history whose live sets are
+    complete, produce a serialization that moreover respects the live-set
+    order: whenever [T_k ≺LS T_m] ({!History.ls_precedes}), [T_k] precedes
+    [T_m].  Implements the paper's iterative move: any [T_k] placed after
+    the earliest [T_l] with [T_k ≺LS T_l] is moved to immediately precede
+    [T_l]. *)
+
+val respects_live_sets : History.t -> Serialization.t -> bool
+(** Does the serialization order every pair related by [≺LS]? *)

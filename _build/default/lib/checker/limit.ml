@@ -1,0 +1,80 @@
+type report = {
+  depths : int list;
+  never_complete : Event.tx list;
+  chain : (int * Event.tx list) list;
+  stabilised : bool;
+  all_du_opaque : bool;
+}
+
+let is_prefix_of shorter longer =
+  let a = History.to_list shorter and b = History.to_list longer in
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> Event.equal x y && go (xs, ys)
+  in
+  go (a, b)
+
+let rec list_is_prefix eq a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> eq x y && list_is_prefix eq xs ys
+
+let analyze ?max_nodes ~family ~depths () =
+  let depths = List.sort_uniq Int.compare depths in
+  let members = List.map (fun d -> (d, family d)) depths in
+  (* Monotonicity: each member a prefix of the next. *)
+  let rec check_monotone = function
+    | (d1, h1) :: ((d2, h2) :: _ as rest) ->
+        if not (is_prefix_of h1 h2) then
+          Fmt.invalid_arg
+            "Limit.analyze: member at depth %d is not a prefix of depth %d" d1
+            d2;
+        check_monotone rest
+    | [ _ ] | [] -> ()
+  in
+  check_monotone members;
+  let deepest = match List.rev members with (_, h) :: _ -> h | [] -> History.empty in
+  (* Transactions that are complete in some member. *)
+  let completes_somewhere k =
+    List.exists
+      (fun (_, h) ->
+        List.mem k (History.txns h) && Txn.is_complete (History.info h k))
+      members
+  in
+  let never_complete =
+    List.filter (fun k -> not (completes_somewhere k)) (History.txns deepest)
+  in
+  (* Serialization chain, each search hinted by the previous certificate. *)
+  let all_du = ref true in
+  let chain =
+    let hint = ref None in
+    List.map
+      (fun (d, h) ->
+        match Du_opacity.check ?max_nodes ?hint:!hint h with
+        | Verdict.Sat s ->
+            hint := Some s.Serialization.order;
+            let cseq =
+              List.filter
+                (fun k -> Txn.is_complete (History.info h k))
+                s.Serialization.order
+            in
+            (d, cseq)
+        | Verdict.Unsat _ | Verdict.Unknown _ ->
+            all_du := false;
+            (d, []))
+      members
+  in
+  let rec stable = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        list_is_prefix Int.equal a b && stable rest
+    | [ _ ] | [] -> true
+  in
+  {
+    depths;
+    never_complete;
+    chain;
+    stabilised = !all_du && stable chain;
+    all_du_opaque = !all_du;
+  }

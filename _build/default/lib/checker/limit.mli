@@ -1,0 +1,45 @@
+(** Executable Theorem 5 / Proposition 1 machinery: limit behaviour of
+    ever-extending prefix families.
+
+    An ω-history is determined by its finite prefixes, so this module
+    analyses a {e family} [family d] (monotone: each history must be a
+    prefix of the next) the way the paper's limit-closure proof does:
+
+    - it checks the {e completeness restriction} of Theorem 5 — every
+      transaction appearing in the family must eventually be complete
+      (all invoked operations answered) in some member;
+    - it builds a chain of du-opaque serializations along the family,
+      seeding each search with the previous member's certificate (the
+      König-path construction made greedy), and extracts each member's
+      [cseq] — its serialization order restricted to transactions already
+      complete at that depth;
+    - it reports whether the chain {e stabilised}: every [cseq] a prefix of
+      the next, which is exactly the property the paper's Claim 6
+      establishes along the König path.
+
+    On the paper's Figure 2 family the restriction fails ([T1], [T2] never
+    complete) and the certificates drift forever — Proposition 1; complete
+    the family and the chain freezes — Theorem 5. *)
+
+type report = {
+  depths : int list;  (** the prefix lengths analysed, ascending *)
+  never_complete : Event.tx list;
+      (** transactions of the deepest member that are complete in no
+          analysed member — non-empty means Theorem 5's restriction fails *)
+  chain : (int * Event.tx list) list;
+      (** per depth, the [cseq]: serialization order restricted to
+          transactions complete at that depth (empty when some member is
+          not du-opaque) *)
+  stabilised : bool;
+      (** every [cseq] in the chain is a prefix of the next *)
+  all_du_opaque : bool;
+}
+
+val analyze :
+  ?max_nodes:int ->
+  family:(int -> History.t) ->
+  depths:int list ->
+  unit ->
+  report
+(** @raise Invalid_argument if the family is not monotone (some member is
+    not a prefix of the next). *)

@@ -1,0 +1,88 @@
+type outcome = [ `Ok | `Violation of string | `Budget of string ]
+
+type state =
+  | Running of Serialization.t  (* certificate of the current prefix *)
+  | Failed of outcome
+
+type t = {
+  max_nodes : int option;
+  mutable history : History.t;
+  mutable state : state;
+  mutable violation_index : int option;
+  mutable events_seen : int;
+  mutable searches_run : int;
+  mutable nodes_total : int;
+}
+
+let create ?max_nodes () =
+  {
+    max_nodes;
+    history = History.empty;
+    state = Running (Serialization.make ~order:[] ~committed:[]);
+    violation_index = None;
+    events_seen = 0;
+    searches_run = 0;
+    nodes_total = 0;
+  }
+
+let outcome_of_state = function
+  | Running _ -> `Ok
+  | Failed o -> o
+
+let fail m o =
+  m.state <- Failed o;
+  if m.violation_index = None then
+    m.violation_index <- Some (History.length m.history);
+  o
+
+let push m ev =
+  match m.state with
+  | Failed o -> o
+  | Running cert -> (
+      m.events_seen <- m.events_seen + 1;
+      match History.extend m.history ev with
+      | Error e ->
+          fail m (`Violation (Fmt.str "%a" History.pp_error e))
+      | Ok h' -> (
+          m.history <- h';
+          match ev with
+          | Event.Inv (k, _) ->
+              (* Extending by an invocation preserves du-opacity and its
+                 certificate (see .mli); only register the new transaction. *)
+              let order =
+                if List.mem k cert.Serialization.order then
+                  cert.Serialization.order
+                else cert.Serialization.order @ [ k ]
+              in
+              m.state <- Running { cert with Serialization.order };
+              `Ok
+          | Event.Res (_, _) -> (
+              let verdict, stats =
+                Du_opacity.check_stats ?max_nodes:m.max_nodes
+                  ~hint:cert.Serialization.order h'
+              in
+              m.searches_run <- m.searches_run + 1;
+              m.nodes_total <- m.nodes_total + stats.Search.nodes;
+              match verdict with
+              | Verdict.Sat cert' ->
+                  m.state <- Running cert';
+                  `Ok
+              | Verdict.Unsat why ->
+                  fail m
+                    (`Violation
+                      (Fmt.str "prefix of length %d is not du-opaque: %s"
+                         (History.length h') why))
+              | Verdict.Unknown why -> fail m (`Budget why))))
+
+let push_all m events =
+  List.fold_left (fun _ ev -> push m ev) (outcome_of_state m.state) events
+
+let history m = m.history
+
+let certificate m =
+  match m.state with Running c -> Some c | Failed _ -> None
+
+let violation_index m = m.violation_index
+let events_seen m = m.events_seen
+let searches_run m = m.searches_run
+let nodes_total m = m.nodes_total

@@ -1,0 +1,45 @@
+(** Online du-opacity verification, one event at a time.
+
+    This is Corollary 9 turned into a runtime verifier: du-opacity is
+    prefix-closed, and (under the restriction that transactions complete
+    their operations) limit-closed, so a TM implementation is du-opaque iff
+    every finite prefix it produces is — which is exactly what the monitor
+    checks as the events stream in.  Violations are {e sticky}: once a
+    prefix fails, every extension fails (prefix-closure read
+    contrapositively), so the monitor reports the first violating prefix
+    length and stops searching.
+
+    Costs are kept incremental: extending a history by an {e invocation}
+    preserves du-opacity together with its certificate (the new pending
+    operation aborts in a completion and constrains nothing), so the monitor
+    only searches at {e response} events, seeding the search with the
+    previous certificate's order — by Lemma 1 certificates project to
+    prefixes, so the hint is usually one transposition away from a witness
+    for the extension. *)
+
+type t
+
+val create : ?max_nodes:int -> unit -> t
+(** [max_nodes] bounds each per-response search; exceeding it yields a
+    [`Budget] outcome rather than a false verdict. *)
+
+type outcome =
+  [ `Ok  (** the prefix so far is du-opaque *)
+  | `Violation of string  (** first failure; sticky from now on *)
+  | `Budget of string  (** a search exceeded [max_nodes]; sticky *) ]
+
+val push : t -> Event.t -> outcome
+val push_all : t -> Event.t list -> outcome
+
+val history : t -> History.t
+val certificate : t -> Serialization.t option
+(** Certificate of the last verified prefix, when still [`Ok]. *)
+
+val violation_index : t -> int option
+(** Length of the first violating prefix, if a violation occurred. *)
+
+(** {1 Statistics (for the monitoring benchmark)} *)
+
+val events_seen : t -> int
+val searches_run : t -> int
+val nodes_total : t -> int

@@ -1,0 +1,32 @@
+let prefix_lengths h =
+  let n = History.length h in
+  let at_responses = History.response_indices h in
+  if List.mem n at_responses then at_responses else at_responses @ [ n ]
+
+let check ?max_nodes h =
+  (* Check short prefixes first so [Unsat] reports the shortest violating
+     prefix, matching how the paper's Figure 3 is analysed. *)
+  let rec go last = function
+    | [] -> last
+    | i :: rest -> (
+        match Final_state.check ?max_nodes (History.prefix h i) with
+        | Verdict.Sat _ as v -> go v rest
+        | Verdict.Unsat why ->
+            Verdict.Unsat
+              (Fmt.str "prefix of length %d is not final-state opaque: %s" i
+                 why)
+        | Verdict.Unknown _ as v -> v)
+  in
+  go (Verdict.Sat (Serialization.make ~order:[] ~committed:[])) (prefix_lengths h)
+
+let first_bad_prefix ?max_nodes h =
+  let rec go = function
+    | [] -> None
+    | i :: rest -> (
+        match Final_state.check ?max_nodes (History.prefix h i) with
+        | Verdict.Sat _ -> go rest
+        | Verdict.Unsat _ -> Some i
+        | Verdict.Unknown why ->
+            failwith ("Opacity.first_bad_prefix: " ^ why))
+  in
+  go (prefix_lengths h)

@@ -1,0 +1,309 @@
+type result =
+  | Sat of Serialization.t
+  | Unsat of string
+  | Not_unique of string
+
+let duplicate_write h =
+  let seen : (Event.tvar * Event.value, Event.tx) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let dup = ref None in
+  List.iter
+    (fun (txn : Txn.t) ->
+      List.iter
+        (fun (x, v) ->
+          match Hashtbl.find_opt seen (x, v) with
+          | Some owner when owner <> txn.Txn.id ->
+              if !dup = None then dup := Some (owner, txn.Txn.id, x, v)
+          | Some _ -> ()
+          | None -> Hashtbl.replace seen (x, v) txn.Txn.id)
+        (Txn.writes txn))
+    (History.infos h);
+  !dup
+
+let unique_writes h = duplicate_write h = None
+
+(* Transitive-closure digraph with cycle refusal. *)
+module Closure = struct
+  type t = { n : int; reach : bool array array }
+
+  let create n = { n; reach = Array.make_matrix n n false }
+
+  let copy c = { n = c.n; reach = Array.map Array.copy c.reach }
+
+  let reaches c a b = c.reach.(a).(b)
+
+  (* Add a -> b; [Error ()] if that closes a cycle. *)
+  let add c a b =
+    if a = b || c.reach.(b).(a) then Error ()
+    else begin
+      if not c.reach.(a).(b) then
+        for u = 0 to c.n - 1 do
+          if u = a || c.reach.(u).(a) then
+            for v = 0 to c.n - 1 do
+              if v = b || c.reach.(b).(v) then c.reach.(u).(v) <- true
+            done
+        done;
+      Ok ()
+    end
+end
+
+type constraints = {
+  (* (a, b, c, d): a->b or c->d must hold. *)
+  mutable disjunctions : (int * int * int * int) list;
+}
+
+exception Contradiction of string
+exception Ambiguous of string
+
+let check h =
+  match duplicate_write h with
+  | Some (t1, t2, x, v) ->
+      Not_unique
+        (Fmt.str "T%d and T%d both write %d to %a" t1 t2 v Event.pp_tvar x)
+  | None -> (
+      let infos = Array.of_list (History.infos h) in
+      let n = Array.length infos in
+      let index = Hashtbl.create (2 * n + 1) in
+      Array.iteri (fun i t -> Hashtbl.replace index t.Txn.id i) infos;
+      (* Fixed reads-from: for each external read, its unique writer. *)
+      let final_writer : (Event.tvar * Event.value, int) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      Array.iteri
+        (fun i t ->
+          List.iter
+            (fun (x, v) -> Hashtbl.replace final_writer (x, v) i)
+            (Txn.final_writes t))
+        infos;
+      let must_commit = Array.make n false in
+      Array.iteri
+        (fun i t -> if t.Txn.status = Txn.Committed then must_commit.(i) <- true)
+        infos;
+      let external_reads i =
+        List.filter
+          (fun (r : Txn.read) -> r.Txn.kind = `External)
+          (Txn.reads infos.(i))
+      in
+      try
+        (* Resolve each read to its writer (or the initial value), forcing
+           commit decisions and checking the deferred-update precondition:
+           the writer must have invoked tryC before the read returned. *)
+        let reads_from = ref [] in
+        for i = 0 to n - 1 do
+          List.iter
+            (fun (r : Txn.read) ->
+              if r.Txn.value = Event.init_value then begin
+                (match Hashtbl.find_opt final_writer (r.Txn.var, r.Txn.value) with
+                | Some w when w <> i ->
+                    raise
+                      (Ambiguous
+                         (Fmt.str
+                            "T%d writes the initial value %d to %a: ambiguous \
+                             reads-from"
+                            infos.(w).Txn.id r.Txn.value Event.pp_tvar r.Txn.var))
+                | Some _ | None -> ());
+                reads_from := (i, r, None) :: !reads_from
+              end
+              else
+                match Hashtbl.find_opt final_writer (r.Txn.var, r.Txn.value) with
+                | None ->
+                    raise
+                      (Contradiction
+                         (Fmt.str
+                            "T%d reads %d from %a but no transaction's final \
+                             write has that value"
+                            infos.(i).Txn.id r.Txn.value Event.pp_tvar r.Txn.var))
+                | Some w when w = i ->
+                    (* Cannot happen: an external read precedes every own
+                       write in program order, and values are unique. *)
+                    raise
+                      (Contradiction
+                         (Fmt.str "T%d externally reads its own write"
+                            infos.(i).Txn.id))
+                | Some w ->
+                    if not (List.mem true (Txn.commit_choices infos.(w))) then
+                      raise
+                        (Contradiction
+                           (Fmt.str "T%d reads from T%d, which cannot commit"
+                              infos.(i).Txn.id infos.(w).Txn.id));
+                    (match Txn.tryc_inv_index infos.(w) with
+                    | Some j when j < r.Txn.res_index -> ()
+                    | Some _ | None ->
+                        raise
+                          (Contradiction
+                             (Fmt.str
+                                "T%d reads from T%d before it invoked tryC \
+                                 (deferred update violated)"
+                                infos.(i).Txn.id infos.(w).Txn.id)));
+                    must_commit.(w) <- true;
+                    reads_from := (i, r, Some w) :: !reads_from)
+            (external_reads i)
+        done;
+        (* Internal reads: value must equal the own latest preceding write. *)
+        Array.iter
+          (fun t ->
+            List.iter
+              (fun (r : Txn.read) ->
+                match r.Txn.kind with
+                | `Internal own when own <> r.Txn.value ->
+                    raise
+                      (Contradiction
+                         (Fmt.str "T%d: internal read of %a returned %d, own \
+                                   write was %d"
+                            t.Txn.id Event.pp_tvar r.Txn.var r.Txn.value own))
+                | `Internal _ | `External -> ())
+              (Txn.reads t))
+          infos;
+        (* Aborting every pending transaction that nobody reads from is
+           sound; afterwards all decisions are fixed. *)
+        let committed i = must_commit.(i) in
+        let writers_of_var : (Event.tvar, int list) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        Array.iteri
+          (fun i t ->
+            if committed i then
+              List.iter
+                (fun (x, _) ->
+                  Hashtbl.replace writers_of_var x
+                    (i
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt writers_of_var x)))
+                (Txn.final_writes t))
+          infos;
+        let closure = Closure.create n in
+        let add_or_fail why a b =
+          match Closure.add closure a b with
+          | Ok () -> ()
+          | Error () ->
+              raise
+                (Contradiction
+                   (Fmt.str "ordering T%d before T%d (%s) closes a cycle"
+                      infos.(a).Txn.id infos.(b).Txn.id why))
+        in
+        (* Base edges: real time and reads-from. *)
+        for a = 0 to n - 1 do
+          for b = 0 to n - 1 do
+            if a <> b && History.rt_precedes h infos.(a).Txn.id infos.(b).Txn.id
+            then add_or_fail "real-time order" a b
+          done
+        done;
+        let cons = { disjunctions = [] } in
+        List.iter
+          (fun (i, (r : Txn.read), w) ->
+            (match w with
+            | Some w -> add_or_fail "reads-from" w i
+            | None -> ());
+            let others =
+              Option.value ~default:[] (Hashtbl.find_opt writers_of_var r.Txn.var)
+              |> List.filter (fun w'' -> Some w'' <> w && w'' <> i)
+            in
+            List.iter
+              (fun w'' ->
+                match w with
+                | None ->
+                    (* Initial-value read: every committed writer of the
+                       variable must follow the reader. *)
+                    add_or_fail "read of initial value" i w''
+                | Some w ->
+                    cons.disjunctions <- (w'', w, i, w'') :: cons.disjunctions)
+              others)
+          !reads_from;
+        (* Propagate disjunctions to fixpoint, then branch on leftovers. *)
+        let rec solve closure disjunctions =
+          let progress = ref false in
+          let undecided =
+            List.filter
+              (fun (a, b, c, d) ->
+                if Closure.reaches closure a b || Closure.reaches closure c d
+                then false
+                else if Closure.reaches closure b a then begin
+                  (* first disjunct impossible: force the second *)
+                  (match Closure.add closure c d with
+                  | Ok () -> ()
+                  | Error () ->
+                      raise
+                        (Contradiction
+                           "both disjuncts of an ordering constraint close \
+                            cycles"));
+                  progress := true;
+                  false
+                end
+                else if Closure.reaches closure d c then begin
+                  (match Closure.add closure a b with
+                  | Ok () -> ()
+                  | Error () ->
+                      raise
+                        (Contradiction
+                           "both disjuncts of an ordering constraint close \
+                            cycles"));
+                  progress := true;
+                  false
+                end
+                else true)
+              disjunctions
+          in
+          if !progress then solve closure undecided
+          else
+            match undecided with
+            | [] -> closure
+            | (a, b, c, d) :: rest -> (
+                (* Branch: try a->b, then c->d. *)
+                let attempt edge_a edge_b =
+                  let c' = Closure.copy closure in
+                  match Closure.add c' edge_a edge_b with
+                  | Error () -> None
+                  | Ok () -> (
+                      match solve c' rest with
+                      | c'' -> Some c''
+                      | exception Contradiction _ -> None)
+                in
+                match attempt a b with
+                | Some c'' -> c''
+                | None -> (
+                    match attempt c d with
+                    | Some c'' -> c''
+                    | None ->
+                        raise
+                          (Contradiction
+                             "no resolution of ordering constraints")))
+        in
+        let closure = solve closure cons.disjunctions in
+        (* Linearise: repeatedly output a minimal unplaced node. *)
+        let placed = Array.make n false in
+        let order = ref [] in
+        for _ = 1 to n do
+          let candidate = ref (-1) in
+          for i = n - 1 downto 0 do
+            if
+              (not placed.(i))
+              && Array.for_all (fun j -> j)
+                   (Array.init n (fun j ->
+                        placed.(j)
+                        || not (Closure.reaches closure j i)))
+            then candidate := i
+          done;
+          if !candidate < 0 then raise (Contradiction "cycle at linearisation");
+          placed.(!candidate) <- true;
+          order := !candidate :: !order
+        done;
+        let order = List.rev_map (fun i -> infos.(i).Txn.id) !order in
+        let committed_ids =
+          List.filter (fun k -> must_commit.(Hashtbl.find index k)) order
+        in
+        let s = Serialization.make ~order ~committed:committed_ids in
+        (* Definitional safety net: the certificate must validate. *)
+        (match Serialization.validate ~claim:Serialization.Du_opaque h s with
+        | Ok () -> Sat s
+        | Error why ->
+            Not_unique ("internal: polygraph certificate rejected: " ^ why))
+      with
+      | Contradiction why -> Unsat why
+      | Ambiguous why -> Not_unique why)
+
+let check_or_fallback h =
+  match check h with
+  | Sat s -> Verdict.Sat s
+  | Unsat why -> Verdict.Unsat why
+  | Not_unique _ -> Du_opacity.check h

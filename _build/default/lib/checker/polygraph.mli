@@ -1,0 +1,38 @@
+(** Exact du-opacity decision under the paper's unique-writes assumption
+    (Theorem 11: with unique writes, du-opacity and opacity coincide, so
+    this also decides opacity there).
+
+    When no two transactions write the same value to the same variable, the
+    reads-from relation is {e determined}: a read of value [v ≠ 0] on [X]
+    names its writer uniquely, and a read of the initial value forbids any
+    committed writer of [X] before the reader.  Serialization existence then
+    reduces to satisfying, over the fixed real-time and reads-from edges,
+    one disjunctive constraint per (read, other committed writer) pair — a
+    polygraph in the sense of Papadimitriou.  This module solves the
+    polygraph by transitive-closure propagation (forcing the second disjunct
+    whenever the first closes a cycle), branching only on constraints that
+    propagation leaves undecided — which on unique-writes workloads
+    essentially never happens, making the checker effectively polynomial
+    where the general search is exponential.
+
+    Commit decisions are forced: committed transactions commit, transactions
+    read from must commit, and aborting every other pending transaction is
+    sound (removing an unread committed writer from a serialization never
+    invalidates it). *)
+
+type result =
+  | Sat of Serialization.t
+  | Unsat of string
+  | Not_unique of string
+      (** the history violates the unique-writes premise; the general
+          checker must be used *)
+
+val check : History.t -> result
+
+val unique_writes : History.t -> bool
+(** Does the history satisfy the premise? (No two transactions perform
+    successful writes of the same value to the same variable.) *)
+
+val check_or_fallback : History.t -> Verdict.t
+(** [check], falling back to the general {!Du_opacity.check} when the
+    premise fails. *)

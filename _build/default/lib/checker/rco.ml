@@ -1,0 +1,33 @@
+(* The definition quantifies over transactions that commit on X — in the
+   completion, not merely in H: a commit-pending writer that the chosen
+   completion commits is constrained exactly like a committed one.  The
+   edges are therefore conditional on the target committing, which the
+   search engine supports natively ([commit_edges]). *)
+let edges h =
+  let infos = History.infos h in
+  List.concat_map
+    (fun (m : Txn.t) ->
+      match m.Txn.status with
+      | Txn.Aborted | Txn.Abort_pending | Txn.Live -> []
+      | Txn.Committed | Txn.Commit_pending -> (
+          match Txn.tryc_inv_index m with
+          | None -> []
+          | Some m_tryc ->
+              let wset = Txn.write_set m in
+              List.filter_map
+                (fun (k : Txn.t) ->
+                  if k.Txn.id = m.Txn.id then None
+                  else if
+                    List.exists
+                      (fun (r : Txn.read) ->
+                        List.mem r.Txn.var wset && r.Txn.res_index < m_tryc)
+                      (Txn.reads k)
+                  then Some (k.Txn.id, m.Txn.id)
+                  else None)
+                infos))
+    infos
+
+let check ?max_nodes h =
+  Search.serialize
+    { Search.default with commit_edges = edges h; max_nodes }
+    h

@@ -1,0 +1,16 @@
+(** The read-commit-order opacity variant of Guerraoui, Henzinger & Singh
+    (DISC 2008), discussed in the paper's Section 4.2.
+
+    This definition asks for a final-state serialization that respects the
+    read-commit order: if a t-read of [X] by [T_k] returns before
+    transaction [T_m] — which commits and writes [X] — invokes [tryC] in
+    [H], then [T_k] must precede [T_m] in the serialization.
+
+    The paper shows this is {e strictly stronger} than du-opacity even on
+    sequential histories: its Figure 5 is du-opaque but violates this
+    condition because the order constraint is syntactic (by position of the
+    read) where du-opacity's local-serialization legality is value-based. *)
+
+val edges : History.t -> (Event.tx * Event.tx) list
+
+val check : ?max_nodes:int -> History.t -> Verdict.t

@@ -1,0 +1,523 @@
+type mode = Plain | Du
+
+type options = {
+  mode : mode;
+  extra_edges : (Event.tx * Event.tx) list;
+  commit_edges : (Event.tx * Event.tx) list;
+  respect_rt : bool;
+  max_nodes : int option;
+  hint : Event.tx list option;
+}
+
+let default =
+  { mode = Plain; extra_edges = []; commit_edges = []; respect_rt = true;
+    max_nodes = None; hint = None }
+
+let du = { default with mode = Du }
+
+type stats = { nodes : int; memo_hits : int; prefiltered : bool }
+
+exception Exhausted
+
+(* Precomputed per-transaction data, indexed densely by 0..n-1. *)
+type ctx = {
+  ids : Event.tx array;  (* dense index -> transaction id *)
+  reads : Txn.read list array;  (* external reads only *)
+  final_writes : (int * Event.value) list array;  (* dense var ids *)
+  choices : bool list array;
+  tryc_inv : int option array;
+  preds : int list array;  (* must-precede, dense *)
+  commit_preds : int list array;  (* must-precede when the target commits *)
+  n_vars : int;
+}
+
+let build_ctx opts h =
+  let infos = Array.of_list (History.infos h) in
+  let n = Array.length infos in
+  let ids = Array.map (fun t -> t.Txn.id) infos in
+  let index = Hashtbl.create (2 * n + 1) in
+  Array.iteri (fun i k -> Hashtbl.replace index k i) ids;
+  let var_index = Hashtbl.create 16 in
+  let n_vars = ref 0 in
+  let dense_var x =
+    match Hashtbl.find_opt var_index x with
+    | Some d -> d
+    | None ->
+        let d = !n_vars in
+        incr n_vars;
+        Hashtbl.replace var_index x d;
+        d
+  in
+  let reads =
+    Array.map
+      (fun t ->
+        Txn.reads t
+        |> List.filter_map (fun (r : Txn.read) ->
+               match r.Txn.kind with
+               | `Internal _ -> None (* checked by the prefilter *)
+               | `External -> Some { r with Txn.var = dense_var r.Txn.var }))
+      infos
+  in
+  let final_writes =
+    Array.map
+      (fun t ->
+        List.map (fun (x, v) -> (dense_var x, v)) (Txn.final_writes t))
+      infos
+  in
+  let choices = Array.map Txn.commit_choices infos in
+  let tryc_inv = Array.map Txn.tryc_inv_index infos in
+  let preds = Array.make n [] in
+  let add_edge a b = if a <> b then preds.(b) <- a :: preds.(b) in
+  if opts.respect_rt then
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if
+          a <> b
+          && Txn.is_t_complete infos.(a)
+          && infos.(a).Txn.last_index < infos.(b).Txn.first_index
+        then add_edge a b
+      done
+    done;
+  List.iter
+    (fun (ka, kb) ->
+      match Hashtbl.find_opt index ka, Hashtbl.find_opt index kb with
+      | Some a, Some b -> add_edge a b
+      | _, _ -> invalid_arg "Search: extra edge names unknown transaction")
+    opts.extra_edges;
+  let commit_preds = Array.make n [] in
+  List.iter
+    (fun (ka, kb) ->
+      match Hashtbl.find_opt index ka, Hashtbl.find_opt index kb with
+      | Some a, Some b ->
+          if a <> b then commit_preds.(b) <- a :: commit_preds.(b)
+      | _, _ -> invalid_arg "Search: commit edge names unknown transaction")
+    opts.commit_edges;
+  (* Writer-availability bookkeeping for the look-ahead prune: number the
+     distinct (variable, value) pairs that some external read needs, and
+     list per transaction which of those keys it can still supply (final
+     write, commit-capable) and which it demands.  Keys for the initial
+     value additionally have a pseudo-supply — the initial state — that
+     dies while a committed non-initial write to the variable is visible. *)
+  let keys = Hashtbl.create 32 in
+  let n_keys = ref 0 in
+  let key_of (x, v) =
+    match Hashtbl.find_opt keys (x, v) with
+    | Some k -> k
+    | None ->
+        let k = !n_keys in
+        incr n_keys;
+        Hashtbl.replace keys (x, v) k;
+        k
+  in
+  let demands =
+    Array.map
+      (fun rs ->
+        List.map (fun (r : Txn.read) -> key_of (r.Txn.var, r.Txn.value)) rs)
+      reads
+  in
+  let supplies =
+    Array.mapi
+      (fun i writes ->
+        if List.mem true choices.(i) then
+          List.filter_map (fun (x, v) -> Hashtbl.find_opt keys (x, v)) writes
+        else [])
+      final_writes
+  in
+  let zero_key =
+    Array.init !n_vars (fun x -> Hashtbl.find_opt keys (x, Event.init_value))
+  in
+  ( { ids; reads; final_writes; choices; tryc_inv; preds; commit_preds;
+      n_vars = !n_vars },
+    demands, supplies, zero_key, !n_keys )
+
+(* Necessary conditions, checked in linear time.  A violation here refutes
+   every serialization, so most negative instances never reach the search. *)
+let prefilter opts h ctx =
+  let n = Array.length ctx.ids in
+  let internal_ok =
+    let rec check_infos = function
+      | [] -> Ok ()
+      | (t : Txn.t) :: rest ->
+          let bad =
+            List.find_opt
+              (fun (r : Txn.read) ->
+                match r.Txn.kind with
+                | `Internal own -> r.Txn.value <> own
+                | `External -> false)
+              (Txn.reads t)
+          in
+          (match bad with
+          | Some r ->
+              Error
+                (Fmt.str
+                   "T%d: internal read of %a returned %d instead of its own \
+                    latest write"
+                   t.Txn.id Event.pp_tvar r.Txn.var r.Txn.value)
+          | None -> check_infos rest)
+    in
+    check_infos (History.infos h)
+  in
+  match internal_ok with
+  | Error _ as e -> e
+  | Ok () ->
+      (* Every external read of a non-initial value needs a possible writer:
+         some other transaction whose final write to the variable has that
+         value and that is allowed to commit — in Du mode, one that moreover
+         invoked tryC before the read's response. *)
+      let writer_possible i (r : Txn.read) =
+        let ok w =
+          w <> i
+          && List.mem true ctx.choices.(w)
+          && List.exists
+               (fun (x, v) -> x = r.Txn.var && v = r.Txn.value)
+               ctx.final_writes.(w)
+          &&
+          match opts.mode with
+          | Plain -> true
+          | Du -> (
+              match ctx.tryc_inv.(w) with
+              | Some j -> j < r.Txn.res_index
+              | None -> false)
+        in
+        let rec exists w = w < n && (ok w || exists (w + 1)) in
+        exists 0
+      in
+      let rec check i =
+        if i >= Array.length ctx.ids then Ok ()
+        else
+          match
+            List.find_opt
+              (fun (r : Txn.read) ->
+                r.Txn.value <> Event.init_value && not (writer_possible i r))
+              ctx.reads.(i)
+          with
+          | Some r ->
+              Error
+                (Fmt.str
+                   "T%d reads value %d but no transaction can commit that \
+                    value%s"
+                   ctx.ids.(i) r.Txn.value
+                   (match opts.mode with
+                   | Du -> " having begun committing before the read returned"
+                   | Plain -> ""))
+          | None -> check (i + 1)
+      in
+      check 0
+
+(* The key must determine everything the remaining subtree's feasibility
+   depends on: which transactions are placed AND with which decision (the
+   availability prune reads decisions), plus the visible write state. *)
+let memo_key mode placed decision stacks =
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun i p ->
+      Buffer.add_char buf
+        (if not p then '0' else if decision.(i) then 'c' else 'a'))
+    placed;
+  Array.iter
+    (fun stack ->
+      Buffer.add_char buf '|';
+      match mode with
+      | Plain -> (
+          match stack with
+          | [] -> ()
+          | (_, v) :: _ -> Buffer.add_string buf (string_of_int v))
+      | Du ->
+          List.iter
+            (fun (w, _) ->
+              Buffer.add_string buf (string_of_int w);
+              Buffer.add_char buf ',')
+            stack)
+    stacks;
+  Buffer.contents buf
+
+(* Symmetry reduction.  Transactions [i] and [j] are interchangeable when
+   transposing them is an automorphism of the whole constraint system:
+   same commit choices and final writes, same precedence environment, the
+   same sidedness w.r.t. every read's deferred-update filter, and pairwise
+   matching reads.  At any search node where both are unplaced, expanding
+   only the smaller index is then complete — any serialization starting
+   with the other maps to one starting with it by the transposition.
+   This collapses e.g. the paper's Figure 2 family, whose zero-readers are
+   all interchangeable, from exponential to linear. *)
+let equivalence_matrix ctx preds succs =
+  let n = Array.length ctx.ids in
+  let all_reads =
+    List.concat (Array.to_list (Array.map (fun rs -> rs) ctx.reads))
+  in
+  let sided tc (r : Txn.read) =
+    match tc with Some t -> t < r.Txn.res_index | None -> false
+  in
+  let equivalent i j =
+    ctx.choices.(i) = ctx.choices.(j)
+    && ctx.final_writes.(i) = ctx.final_writes.(j)
+    && List.length ctx.reads.(i) = List.length ctx.reads.(j)
+    && (let swap x = if x = i then j else if x = j then i else x in
+        let set_eq a b =
+          List.sort_uniq Int.compare (List.map swap a)
+          = List.sort_uniq Int.compare b
+        in
+        set_eq preds.(i) preds.(j)
+        && set_eq succs.(i) succs.(j)
+        && set_eq ctx.commit_preds.(i) ctx.commit_preds.(j)
+        (* identical sidedness as writers, for every read in the history *)
+        && List.for_all
+             (fun r ->
+               sided ctx.tryc_inv.(i) r = sided ctx.tryc_inv.(j) r)
+             all_reads
+        (* pairwise matching reads, modulo the transposition *)
+        && List.for_all2
+             (fun (ri : Txn.read) (rj : Txn.read) ->
+               ri.Txn.var = rj.Txn.var
+               && ri.Txn.value = rj.Txn.value
+               && (let rec upto k =
+                     k >= n
+                     || (sided ctx.tryc_inv.(k) ri
+                         = sided ctx.tryc_inv.(swap k) rj
+                        && upto (k + 1))
+                   in
+                   upto 0))
+             ctx.reads.(i) ctx.reads.(j))
+  in
+  let matrix = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if equivalent i j then begin
+        matrix.(i).(j) <- true;
+        matrix.(j).(i) <- true
+      end
+    done
+  done;
+  matrix
+
+let search opts h =
+  let ctx, demands, supplies, zero_key, n_keys = build_ctx opts h in
+  let n = Array.length ctx.ids in
+  if n = 0 then
+    ( Verdict.Sat (Serialization.make ~order:[] ~committed:[]),
+      { nodes = 0; memo_hits = 0; prefiltered = true } )
+  else
+    match prefilter opts h ctx with
+    | Error why ->
+        (Verdict.Unsat why, { nodes = 0; memo_hits = 0; prefiltered = true })
+    | Ok () ->
+        let placed = Array.make n false in
+        let pending = Array.make n 0 in
+        Array.iteri
+          (fun b preds ->
+            pending.(b) <- List.length (List.sort_uniq Int.compare preds))
+          ctx.preds;
+        let preds_uniq = Array.map (List.sort_uniq Int.compare) ctx.preds in
+        let succs = Array.make n [] in
+        Array.iteri
+          (fun b preds ->
+            List.iter (fun a -> succs.(a) <- b :: succs.(a)) preds)
+          preds_uniq;
+        let stacks : (int * Event.value) list array =
+          Array.make ctx.n_vars []
+        in
+        (* Look-ahead prune bookkeeping: [avail.(k)] counts transactions
+           that could still commit the (var, value) behind key [k];
+           [waiting.(k)] counts unplaced transactions demanding it.
+           Aborting the last potential supplier of a still-demanded value
+           dooms the whole subtree. *)
+        let avail = Array.make (max 1 n_keys) 0 in
+        let waiting = Array.make (max 1 n_keys) 0 in
+        Array.iter (List.iter (fun k -> avail.(k) <- avail.(k) + 1)) supplies;
+        Array.iter (List.iter (fun k -> waiting.(k) <- waiting.(k) + 1)) demands;
+        (* The initial state supplies every initial-value key until a
+           committed non-initial write to the variable is visible. *)
+        Array.iter
+          (function Some k -> avail.(k) <- avail.(k) + 1 | None -> ())
+          zero_key;
+        let nonzero_commits = Array.make (max 1 ctx.n_vars) 0 in
+        (* Placement priority: hint order first, then order of first event
+           in the history (dense indices already follow first appearance). *)
+        let priority =
+          match opts.hint with
+          | None -> Array.init n (fun i -> i)
+          | Some hint ->
+              let pos = Hashtbl.create 16 in
+              List.iteri (fun p k -> Hashtbl.replace pos k p) hint;
+              let rank i =
+                match Hashtbl.find_opt pos ctx.ids.(i) with
+                | Some p -> p
+                | None -> max_int
+              in
+              let arr = Array.init n (fun i -> i) in
+              Array.sort
+                (fun a b ->
+                  match Int.compare (rank a) (rank b) with
+                  | 0 -> Int.compare a b
+                  | c -> c)
+                arr;
+              arr
+        in
+        let order = Array.make n (-1) in
+        let decision = Array.make n false in
+        let nodes = ref 0 in
+        let memo_hits = ref 0 in
+        let memo : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+        let budget =
+          match opts.max_nodes with Some b -> b | None -> max_int
+        in
+        let equiv = equivalence_matrix ctx preds_uniq succs in
+        (* Candidate [i] is redundant while an unplaced interchangeable
+           transaction with a smaller index exists. *)
+        let canonical i =
+          let rec go j =
+            j >= i || ((placed.(j) || not equiv.(j).(i)) && go (j + 1))
+          in
+          go 0
+        in
+        let retained w res_index =
+          match ctx.tryc_inv.(w) with
+          | Some j -> j < res_index
+          | None -> false
+        in
+        let reads_ok i =
+          List.for_all
+            (fun (r : Txn.read) ->
+              let stack = stacks.(r.Txn.var) in
+              let global_ok =
+                match stack with
+                | [] -> r.Txn.value = Event.init_value
+                | (_, v) :: _ -> r.Txn.value = v
+              in
+              global_ok
+              &&
+              match opts.mode with
+              | Plain -> true
+              | Du -> (
+                  (* Legality in the local serialization: the first retained
+                     committed writer (scanning from the latest) must have
+                     written the value; none retained means initial value. *)
+                  let rec scan = function
+                    | [] -> r.Txn.value = Event.init_value
+                    | (w, v) :: rest ->
+                        if retained w r.Txn.res_index then r.Txn.value = v
+                        else scan rest
+                  in
+                  scan stack))
+            ctx.reads.(i)
+        in
+        let exception Found in
+        let rec dfs depth =
+          incr nodes;
+          if !nodes > budget then raise Exhausted;
+          if depth = n then raise Found;
+          let key = memo_key opts.mode placed decision stacks in
+          if Hashtbl.mem memo key then incr memo_hits
+          else begin
+            let commit_allowed i =
+              List.for_all (fun a -> placed.(a)) ctx.commit_preds.(i)
+            in
+            Array.iter
+              (fun i ->
+                if
+                  (not placed.(i))
+                  && pending.(i) = 0
+                  && canonical i
+                  && reads_ok i
+                then
+                  List.iter
+                    (fun commit ->
+                      if (not commit) || commit_allowed i then begin
+                        placed.(i) <- true;
+                        order.(depth) <- i;
+                        decision.(i) <- commit;
+                        List.iter (fun b -> pending.(b) <- pending.(b) - 1)
+                          succs.(i);
+                        List.iter
+                          (fun k -> waiting.(k) <- waiting.(k) - 1)
+                          demands.(i);
+                        if not commit then
+                          List.iter
+                            (fun k -> avail.(k) <- avail.(k) - 1)
+                            supplies.(i);
+                        let pushed =
+                          if commit then begin
+                            List.iter
+                              (fun (x, v) ->
+                                stacks.(x) <- (i, v) :: stacks.(x);
+                                if v <> Event.init_value then begin
+                                  nonzero_commits.(x) <- nonzero_commits.(x) + 1;
+                                  if nonzero_commits.(x) = 1 then
+                                    match zero_key.(x) with
+                                    | Some k -> avail.(k) <- avail.(k) - 1
+                                    | None -> ()
+                                end)
+                              ctx.final_writes.(i);
+                            ctx.final_writes.(i)
+                          end
+                          else []
+                        in
+                        (* Look-ahead prune: did this placement exhaust the
+                           last supply of a value some unplaced transaction
+                           still needs to read? *)
+                        let key_ok k = avail.(k) > 0 || waiting.(k) = 0 in
+                        let feasible =
+                          if commit then
+                            List.for_all
+                              (fun (x, v) ->
+                                v = Event.init_value
+                                ||
+                                match zero_key.(x) with
+                                | Some k -> key_ok k
+                                | None -> true)
+                              pushed
+                          else List.for_all key_ok supplies.(i)
+                        in
+                        if feasible then dfs (depth + 1);
+                        List.iter
+                          (fun (x, v) ->
+                            (match stacks.(x) with
+                            | _ :: rest -> stacks.(x) <- rest
+                            | [] -> assert false);
+                            if v <> Event.init_value then begin
+                              nonzero_commits.(x) <- nonzero_commits.(x) - 1;
+                              if nonzero_commits.(x) = 0 then
+                                match zero_key.(x) with
+                                | Some k -> avail.(k) <- avail.(k) + 1
+                                | None -> ()
+                            end)
+                          pushed;
+                        if not commit then
+                          List.iter
+                            (fun k -> avail.(k) <- avail.(k) + 1)
+                            supplies.(i);
+                        List.iter
+                          (fun k -> waiting.(k) <- waiting.(k) + 1)
+                          demands.(i);
+                        List.iter (fun b -> pending.(b) <- pending.(b) + 1)
+                          succs.(i);
+                        placed.(i) <- false
+                      end)
+                    ctx.choices.(i))
+              priority;
+            Hashtbl.replace memo key ()
+          end
+        in
+        let outcome =
+          match dfs 0 with
+          | () ->
+              Verdict.Unsat
+                (Fmt.str "no serialization exists (%d nodes explored)" !nodes)
+          | exception Found ->
+              let order_ids =
+                Array.to_list (Array.map (fun i -> ctx.ids.(i)) order)
+              in
+              let committed =
+                Array.to_list order
+                |> List.filter (fun i -> decision.(i))
+                |> List.map (fun i -> ctx.ids.(i))
+              in
+              Verdict.Sat
+                (Serialization.make ~order:order_ids ~committed)
+          | exception Exhausted ->
+              Verdict.Unknown
+                (Fmt.str "node budget exhausted after %d nodes" !nodes)
+        in
+        (outcome, { nodes = !nodes; memo_hits = !memo_hits; prefiltered = false })
+
+let serialize opts h = fst (search opts h)

@@ -1,0 +1,59 @@
+(** Serialization search: the engine behind every exact checker.
+
+    Given a history [H], the engine looks for a transaction order and a
+    commit decision per transaction (together: a {!Serialization.t}) such
+    that the denoted t-complete t-sequential history is legal, equivalent to
+    a completion of [H], and respects the real-time order — i.e. a
+    final-state serialization (Definition 4).  Two refinements are
+    selectable:
+
+    - {!mode} [Du] additionally enforces Definition 3(3): every
+      value-returning read must be legal in its {e local serialization},
+      computed incrementally from the per-variable stacks of committed
+      writes and the positions of [tryC] invocations in [H].
+    - [extra_edges] adds must-precede constraints between transactions,
+      which is how the TMS2 and read-commit-order checkers are obtained.
+
+    Deciding existence is NP-hard in general (it subsumes view
+    serializability), so the engine is a backtracking search over placement
+    orders with: a linear-time necessary-condition prefilter that dispatches
+    most negative instances, placement candidates ordered by first event in
+    [H] (recorded histories are nearly serial, so this hint usually hits on
+    the first descent), failure memoisation keyed on the placed set and the
+    visible write state, and an optional node budget that turns the verdict
+    into [Unknown] instead of running unbounded. *)
+
+type mode = Plain | Du
+
+type options = {
+  mode : mode;
+  extra_edges : (Event.tx * Event.tx) list;
+      (** [(a, b)]: [T_a] must precede [T_b] in the serialization *)
+  commit_edges : (Event.tx * Event.tx) list;
+      (** [(a, b)]: [T_a] must precede [T_b] {e if the serialization commits
+          [T_b]} — needed by constraints that quantify over transactions
+          committed in the completion rather than in the history (the
+          read-commit-order definition) *)
+  respect_rt : bool;  (** enforce clause (2); [false] for serializability *)
+  max_nodes : int option;  (** search-node budget; [None] = exact, unbounded *)
+  hint : Event.tx list option;
+      (** try this transaction order first (online monitoring reuses the
+          previous prefix's certificate) *)
+}
+
+val default : options
+(** [Plain] mode, no extra edges, real time respected, no budget, no hint. *)
+
+val du : options
+(** [default] with [mode = Du]. *)
+
+type stats = {
+  nodes : int;  (** search nodes expanded *)
+  memo_hits : int;
+  prefiltered : bool;  (** the prefilter decided without search *)
+}
+
+val search : options -> History.t -> Verdict.t * stats
+
+val serialize : options -> History.t -> Verdict.t
+(** [search] without the statistics. *)

@@ -1,0 +1,57 @@
+let value_of state var =
+  match Hashtbl.find_opt state var with
+  | Some v -> v
+  | None -> Event.init_value
+
+(* [History.infos] orders by first event, which for a t-sequential history
+   is the serialization order. *)
+let infos_in_order h = History.infos h
+
+let legal h =
+  if not (History.is_t_sequential h) then
+    Error "history is not t-sequential"
+  else
+    let state : (Event.tvar, Event.value) Hashtbl.t = Hashtbl.create 16 in
+    let check_txn (txn : Txn.t) =
+      let buffer : (Event.tvar, Event.value) Hashtbl.t = Hashtbl.create 4 in
+      let check_op (op : Op.t) =
+        match Op.read_value op, Op.write op with
+        | Some (var, got), _ ->
+            let expected =
+              match Hashtbl.find_opt buffer var with
+              | Some v -> v
+              | None -> value_of state var
+            in
+            if got = expected then Ok ()
+            else
+              Error
+                (Fmt.str "T%d reads %d from %a but the latest written value is %d"
+                   txn.Txn.id got Event.pp_tvar var expected)
+        | None, Some (var, v) ->
+            Hashtbl.replace buffer var v;
+            Ok ()
+        | None, None -> Ok ()
+      in
+      let result =
+        Array.fold_left
+          (fun acc op -> match acc with Error _ -> acc | Ok () -> check_op op)
+          (Ok ()) txn.Txn.ops
+      in
+      (match result, txn.Txn.status with
+      | Ok (), Txn.Committed ->
+          Hashtbl.iter (Hashtbl.replace state) buffer
+      | _, _ -> ());
+      result
+    in
+    List.fold_left
+      (fun acc txn -> match acc with Error _ -> acc | Ok () -> check_txn txn)
+      (Ok ()) (infos_in_order h)
+
+let final_state h state =
+  List.iter
+    (fun (txn : Txn.t) ->
+      if txn.Txn.status = Txn.Committed then
+        List.iter
+          (fun (var, v) -> if var < Array.length state then state.(var) <- v)
+          (Txn.final_writes txn))
+    (History.infos h)

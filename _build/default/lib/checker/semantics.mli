@@ -1,0 +1,17 @@
+(** Sequential semantics of t-complete t-sequential histories.
+
+    Implements the paper's notion of {e latest written value} and legality:
+    a [read_k(X)] returning a value must return the latest preceding write of
+    [X] by [T_k] itself if there is one, and otherwise the latest write of
+    [X] by a committed transaction that precedes [T_k]; with no such write,
+    the initial value (written by the imaginary [T0]). *)
+
+val legal : History.t -> (unit, string) result
+(** Direct interpreter for t-sequential histories.  Every transaction's
+    events must be contiguous ([History.is_t_sequential]); reads returning
+    [A_k] are unconstrained.  On failure, the error names the offending
+    read. *)
+
+val final_state : History.t -> Event.value array -> unit
+(** [final_state h state] folds the committed writes of a legal t-sequential
+    history into [state] (indexed by variable), in history order. *)

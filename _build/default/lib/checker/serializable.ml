@@ -1,0 +1,13 @@
+let committed_projection h =
+  let committed = History.committed h in
+  History.project h ~keep:(fun k -> List.mem k committed)
+
+let check ?max_nodes h =
+  Search.serialize
+    { Search.default with respect_rt = false; max_nodes }
+    (committed_projection h)
+
+let check_strict ?max_nodes h =
+  Search.serialize
+    { Search.default with max_nodes }
+    (committed_projection h)

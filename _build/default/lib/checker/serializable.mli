@@ -1,0 +1,26 @@
+(** Database-style baselines: (strict) serializability of the committed
+    transactions.
+
+    These are the guarantees the paper contrasts opacity with (Section 1):
+    they constrain only committed transactions, so a live ("zombie")
+    transaction may observe an inconsistent state even when the committed
+    ones form a perfectly serial execution.  The gap between
+    [Serializable.check] and {!Du_opacity.check} on the negative-control STM
+    histories is exactly the paper's motivation for opacity-like criteria. *)
+
+val check : ?max_nodes:int -> History.t -> Verdict.t
+(** The history restricted to its committed transactions has a legal
+    t-sequential equivalent (real-time order {e not} required).
+
+    Note the committed {e projection} is what the database literature uses,
+    and it makes this criterion incomparable with final-state opacity on
+    histories with pending commits: a committed read served by a
+    commit-{e pending} writer is final-state opaque (some completion commits
+    the writer) yet not serializable here (the projection drops the writer).
+    On t-complete histories the expected inclusions hold:
+    du-opaque ⟹ opaque ⟹ final-state opaque ⟹ strictly serializable ⟹
+    serializable (property-tested). *)
+
+val check_strict : ?max_nodes:int -> History.t -> Verdict.t
+(** Strict serializability: as {!check}, but the serialization must respect
+    the real-time order of the committed transactions. *)

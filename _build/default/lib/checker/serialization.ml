@@ -1,0 +1,167 @@
+module Tx_set = Set.Make (Int)
+
+type t = { order : Event.tx list; committed : Tx_set.t }
+
+let make ~order ~committed =
+  { order; committed = Tx_set.of_list committed }
+
+let commits s k = Tx_set.mem k s.committed
+
+let pp ppf s =
+  let pp_tx ppf k =
+    Fmt.pf ppf "T%d%s" k (if Tx_set.mem k s.committed then "" else "(A)")
+  in
+  Fmt.(list ~sep:(any ", ") pp_tx) ppf s.order
+
+type claim = Final_state | Du_opaque
+
+(* The t-sequential history denoted by the certificate (see .mli). *)
+let to_history h s =
+  let completed_events k =
+    let txn = History.info h k in
+    let events =
+      Array.to_list txn.Txn.ops
+      |> List.concat_map (fun (op : Op.t) ->
+             let inv = Event.Inv (k, op.Op.inv) in
+             match op.Op.res with
+             | Some res -> [ inv; Event.Res (k, res) ]
+             | None ->
+                 (* Definition 2: a pending tryC is resolved by the decision;
+                    any other pending operation returns A_k. *)
+                 let res =
+                   match op.Op.inv with
+                   | Event.Try_commit when commits s k -> Event.Committed
+                   | Event.Try_commit | Event.Try_abort | Event.Read _
+                   | Event.Write _ ->
+                       Event.Aborted
+                 in
+                 [ inv; Event.Res (k, res) ])
+    in
+    if Txn.is_complete txn && not (Txn.is_t_complete txn) then
+      events @ [ Event.Inv (k, Event.Try_commit); Event.Res (k, Event.Aborted) ]
+    else events
+  in
+  History.of_events_exn (List.concat_map completed_events s.order)
+
+let check_permutation h s =
+  let expected = List.sort Int.compare (History.txns h) in
+  let got = List.sort Int.compare s.order in
+  if List.equal Int.equal expected got then Ok ()
+  else Error "order is not a permutation of the transactions of the history"
+
+let check_decisions h s =
+  List.fold_left
+    (fun acc k ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          let txn = History.info h k in
+          let decision = commits s k in
+          if List.mem decision (Txn.commit_choices txn) then Ok ()
+          else
+            Error
+              (Fmt.str
+                 "T%d is %a in the history but %s in the serialization — no \
+                  completion allows this"
+                 k Txn.pp_status txn.Txn.status
+                 (if decision then "committed" else "aborted")))
+    (Ok ()) s.order
+
+let check_real_time h s =
+  (* Clause (2) of Definition 3: T_k ≺RT T_m implies T_k <S T_m. *)
+  let rec go = function
+    | [] -> Ok ()
+    | k :: rest ->
+        if List.exists (fun m -> History.rt_precedes h m k) rest then
+          let m = List.find (fun m -> History.rt_precedes h m k) rest in
+          Error
+            (Fmt.str "real-time order violated: T%d precedes T%d in the \
+                      history but follows it in the serialization" m k)
+        else go rest
+  in
+  go s.order
+
+(* Clause (3) of Definition 3, recomputed directly from the definition of the
+   local serialization S^{k,X}_H.  For each value-returning read, replay the
+   serialization prefix before T_k keeping only transactions T_m whose
+   tryC_m invocation appears in H before the read's response. *)
+let check_local_serializations h s =
+  (* Per-transaction data is derived once: [Txn.final_writes] and
+     [tryc_inv_index] allocate on every call, and this check walks them per
+     (read, predecessor) pair. *)
+  let tryc_cache = Hashtbl.create 16 in
+  let writes_cache = Hashtbl.create 16 in
+  let tryc_inv k =
+    match Hashtbl.find_opt tryc_cache k with
+    | Some v -> v
+    | None ->
+        let v = Txn.tryc_inv_index (History.info h k) in
+        Hashtbl.replace tryc_cache k v;
+        v
+  in
+  let final_writes k =
+    match Hashtbl.find_opt writes_cache k with
+    | Some v -> v
+    | None ->
+        let v = Txn.final_writes (History.info h k) in
+        Hashtbl.replace writes_cache k v;
+        v
+  in
+  let check_read k before (read : Txn.read) =
+    match read.Txn.kind with
+    | `Internal own ->
+        if read.Txn.value = own then Ok ()
+        else
+          Error
+            (Fmt.str "T%d: internal read of %a returned %d, own write was %d"
+               k Event.pp_tvar read.Txn.var read.Txn.value own)
+    | `External ->
+        let retained m =
+          match tryc_inv m with
+          | Some i -> i < read.Txn.res_index
+          | None -> false
+        in
+        let latest =
+          List.fold_left
+            (fun acc m ->
+              if commits s m && retained m then
+                match List.assoc_opt read.Txn.var (final_writes m) with
+                | Some v -> Some v
+                | None -> acc
+              else acc)
+            None before
+        in
+        let expected = Option.value latest ~default:Event.init_value in
+        if read.Txn.value = expected then Ok ()
+        else
+          Error
+            (Fmt.str
+               "T%d: read of %a returned %d but its local serialization \
+                (deferred-update filter) yields %d"
+               k Event.pp_tvar read.Txn.var read.Txn.value expected)
+  in
+  let rec go before = function
+    | [] -> Ok ()
+    | k :: rest ->
+        let txn = History.info h k in
+        let result =
+          List.fold_left
+            (fun acc read ->
+              match acc with Error _ -> acc | Ok () -> check_read k before read)
+            (Ok ()) (Txn.reads txn)
+        in
+        (match result with
+        | Error _ -> result
+        | Ok () -> go (before @ [ k ]) rest)
+  in
+  go [] s.order
+
+let validate ?(claim = Du_opaque) ?(respect_rt = true) h s =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = check_permutation h s in
+  let* () = check_decisions h s in
+  let* () = if respect_rt then check_real_time h s else Ok () in
+  let* () = Semantics.legal (to_history h s) in
+  match claim with
+  | Final_state -> Ok ()
+  | Du_opaque -> check_local_serializations h s

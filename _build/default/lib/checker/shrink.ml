@@ -1,0 +1,67 @@
+let violates check h = Verdict.is_unsat (check h)
+
+let truncate_to_first_bad check h =
+  let lens = History.response_indices h @ [ History.length h ] in
+  let lens = List.sort_uniq Int.compare lens in
+  match List.find_opt (fun i -> violates check (History.prefix h i)) lens with
+  | Some i -> History.prefix h i
+  | None -> h
+
+let drop_transactions check h =
+  List.fold_left
+    (fun h k ->
+      if not (List.mem k (History.txns h)) then h
+      else
+        let candidate = History.project h ~keep:(fun k' -> k' <> k) in
+        if violates check candidate then candidate else h)
+    h (History.txns h)
+
+(* Candidate operation removals: the event-index pairs of each complete
+   operation.  Removing a complete operation keeps per-transaction
+   sequences alternating, hence well-formed. *)
+let op_spans h =
+  List.concat_map
+    (fun (txn : Txn.t) ->
+      Array.to_list txn.Txn.ops
+      |> List.filter_map (fun (op : Op.t) ->
+             match op.Op.res_index with
+             | Some r -> Some (op.Op.inv_index, r)
+             | None -> Some (op.Op.inv_index, op.Op.inv_index)))
+    (History.infos h)
+
+let remove_span h (a, b) =
+  let events =
+    List.filteri (fun i _ -> i <> a && i <> b) (History.to_list h)
+  in
+  match History.of_events events with Ok h' -> Some h' | Error _ -> None
+
+let drop_operations check h =
+  (* One pass; spans are recomputed after each successful removal since
+     indices shift. *)
+  let rec go h =
+    let improved =
+      List.find_map
+        (fun span ->
+          match remove_span h span with
+          | Some candidate when violates check candidate -> Some candidate
+          | Some _ | None -> None)
+        (op_spans h)
+    in
+    match improved with Some h' -> go h' | None -> h
+  in
+  go h
+
+let minimal_violation ?max_nodes ?check h =
+  let check =
+    match check with
+    | Some f -> f
+    | None -> fun h -> Du_opacity.check_fast ?max_nodes h
+  in
+  if not (violates check h) then None
+  else
+    let h = truncate_to_first_bad check h in
+    let rec fixpoint h =
+      let h' = drop_operations check (drop_transactions check h) in
+      if History.length h' < History.length h then fixpoint h' else h'
+    in
+    Some (fixpoint h)

@@ -1,0 +1,98 @@
+module Int_map = Map.Make (Int)
+
+exception Exhausted
+
+let check ?max_nodes h =
+  let committed = History.committed h in
+  let infos =
+    List.filter
+      (fun (t : Txn.t) -> List.mem t.Txn.id committed)
+      (History.infos h)
+    |> Array.of_list
+  in
+  let n = Array.length infos in
+  (* Internal reads are snapshot-independent: own latest write. *)
+  let internal_bad =
+    Array.exists
+      (fun t ->
+        List.exists
+          (fun (r : Txn.read) ->
+            match r.Txn.kind with
+            | `Internal own -> r.Txn.value <> own
+            | `External -> false)
+          (Txn.reads t))
+      infos
+  in
+  if internal_bad then
+    Verdict.Unsat "a committed transaction misreads its own write"
+  else begin
+    let external_reads =
+      Array.map
+        (fun t ->
+          List.filter (fun (r : Txn.read) -> r.Txn.kind = `External) (Txn.reads t))
+        infos
+    in
+    let final_writes = Array.map Txn.final_writes infos in
+    let write_sets = Array.map Txn.write_set infos in
+    let budget = Option.value max_nodes ~default:max_int in
+    let nodes = ref 0 in
+    (* snapshots.(s) = database state after the first [s] placed commits *)
+    let snapshots = Array.make (n + 1) Int_map.empty in
+    let placed = Array.make n false in
+    let position = Array.make n (-1) in
+    let order = Array.make n (-1) in
+    let exception Found in
+    let lookup state x = Option.value (Int_map.find_opt x state) ~default:Event.init_value in
+    let reads_match i s =
+      List.for_all
+        (fun (r : Txn.read) -> lookup snapshots.(s) r.Txn.var = r.Txn.value)
+        external_reads.(i)
+    in
+    let rec dfs depth =
+      incr nodes;
+      if !nodes > budget then raise Exhausted;
+      if depth = n then raise Found;
+      for i = 0 to n - 1 do
+        if not placed.(i) then begin
+          (* Write-write rule: the snapshot must start after the commit of
+             every earlier transaction sharing a written variable. *)
+          let lower =
+            Array.to_list (Array.init n Fun.id)
+            |> List.fold_left
+                 (fun acc j ->
+                   if
+                     placed.(j)
+                     && List.exists
+                          (fun x -> List.mem x write_sets.(i))
+                          write_sets.(j)
+                   then max acc (position.(j) + 1)
+                   else acc)
+                 0
+          in
+          let feasible =
+            let rec exists s = s <= depth && (reads_match i s || exists (s + 1)) in
+            exists lower
+          in
+          if feasible then begin
+            placed.(i) <- true;
+            position.(i) <- depth;
+            order.(depth) <- i;
+            snapshots.(depth + 1) <-
+              List.fold_left
+                (fun state (x, v) -> Int_map.add x v state)
+                snapshots.(depth) final_writes.(i);
+            dfs (depth + 1);
+            placed.(i) <- false;
+            position.(i) <- -1
+          end
+        end
+      done
+    in
+    match dfs 0 with
+    | () -> Verdict.Unsat (Fmt.str "no SI execution exists (%d nodes)" !nodes)
+    | exception Found ->
+        let ids = Array.to_list (Array.map (fun i -> infos.(i).Txn.id) order) in
+        Verdict.Sat (Serialization.make ~order:ids ~committed:ids)
+    | exception Exhausted ->
+        Verdict.Unknown (Fmt.str "node budget exhausted after %d nodes" !nodes)
+  end

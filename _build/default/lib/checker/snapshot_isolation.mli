@@ -1,0 +1,22 @@
+(** Snapshot isolation (SI) over the committed transactions — the classic
+    MVCC guarantee, as a baseline to contrast with (du-)opacity.
+
+    A history satisfies SI here if the committed transactions can be given
+    begin and commit points on one timeline such that every transaction
+    reads from the database snapshot at its begin point (own writes
+    shadowing it), and no two transactions whose intervals overlap both
+    write the same variable (first-committer-wins).  Real-time order is
+    not enforced, and — like {!Serializable} — aborted and pending
+    transactions are ignored, so SI is {e incomparable} with the opacity
+    family: write skew is SI but not serializable, while any serializable
+    committed projection is SI (pick point-like intervals).  Both facts are
+    property-tested.
+
+    Decided by backtracking over commit orders; at each placement the
+    transaction needs {e some} snapshot index that explains all its
+    external reads and lies after the commit of every earlier writer it
+    conflicts with on writes.  A positive verdict's certificate is the
+    {e commit order} (all committed) — note it is a witness for SI, not a
+    legal serialization, so do not feed it to {!Serialization.validate}. *)
+
+val check : ?max_nodes:int -> History.t -> Verdict.t

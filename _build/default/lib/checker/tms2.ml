@@ -1,0 +1,36 @@
+let tryc_res_index (txn : Txn.t) =
+  Array.fold_left
+    (fun acc (op : Op.t) ->
+      match acc, op.Op.inv with
+      | None, Event.Try_commit -> op.Op.res_index
+      | acc, _ -> acc)
+    None txn.Txn.ops
+
+let edges h =
+  let infos = History.infos h in
+  List.concat_map
+    (fun (a : Txn.t) ->
+      if a.Txn.status <> Txn.Committed then []
+      else
+        match tryc_res_index a with
+        | None -> []
+        | Some a_commit ->
+            let wset = Txn.write_set a in
+            List.filter_map
+              (fun (b : Txn.t) ->
+                if b.Txn.id = a.Txn.id then None
+                else
+                  match Txn.tryc_inv_index b with
+                  | Some b_tryc
+                    when a_commit < b_tryc
+                         && List.exists (fun x -> List.mem x wset)
+                              (Txn.read_set b) ->
+                      Some (a.Txn.id, b.Txn.id)
+                  | Some _ | None -> None)
+              infos)
+    infos
+
+let check ?max_nodes h =
+  Search.serialize
+    { Search.default with extra_edges = edges h; max_nodes }
+    h

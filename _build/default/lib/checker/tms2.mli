@@ -1,0 +1,18 @@
+(** The paper's rendering of the TMS2 condition (Section 4.2, Doherty et
+    al. / Lesani et al.).
+
+    TMS2 asks for a final-state serialization that additionally respects the
+    commit order of conflicting transactions: if [X ∈ Wset(T_a) ∩ Rset(T_b)],
+    [T_a] commits, and the [tryC] operation of [T_a] precedes (completes
+    before the invocation of) the [tryC] operation of [T_b] in [H], then
+    [T_a] must precede [T_b] in the serialization.
+
+    The paper conjectures TMS2 ⊆ du-opacity and separates them with its
+    Figure 6 (du-opaque but not TMS2) — both reproduced in the test suite.
+    Note this is the paper's informal rendering of TMS2, not the original
+    I/O-automaton definition (see DESIGN.md, substitutions). *)
+
+val edges : History.t -> (Event.tx * Event.tx) list
+(** The must-precede constraints described above. *)
+
+val check : ?max_nodes:int -> History.t -> Verdict.t

@@ -1,0 +1,1 @@
+lib/figures/figures.ml: Dsl History List

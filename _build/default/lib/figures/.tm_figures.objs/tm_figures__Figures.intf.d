@@ -1,0 +1,1 @@
+lib/figures/figures.mli: History

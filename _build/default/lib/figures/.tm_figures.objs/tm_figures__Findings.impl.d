@@ -1,0 +1,1 @@
+lib/figures/findings.ml: Dsl Event History

@@ -1,0 +1,162 @@
+open Dsl
+
+(* Figure 1, with v = 1 and v' = 2.
+
+   T1: R(X)->1 ............ W(X,2) tryC ........... >C
+   T2:   W(X,1) tryC->C
+   T3:                              W(X,1) tryC->C
+   T4:                                               R(X)->2 tryC->C
+
+   T2 finishes committing before R1(X) responds (so T2 justifies the read in
+   the local serialization); T3 writes the same value 1 but only starts
+   committing later (so in the global serialization T2,T3,T1,T4 the read's
+   S-latest writer is T3 — legality is value-based, both wrote 1). *)
+let fig1 =
+  history
+    [
+      r_inv 1 x;
+      w 2 x 1;
+      c 2;
+      ret 1 1;
+      w 1 x 2;
+      c_inv 1;
+      w 3 x 1;
+      c 3;
+      committed 1;
+      r 4 x 2;
+      c 4;
+    ]
+
+(* Figure 2 prefix: T1's tryC pends forever; T2 reads 1 from it; readers
+   T3..T_readers read 0, all overlapping T1 and T2. *)
+let fig2 ~readers =
+  if readers < 3 then invalid_arg "Figures.fig2: needs at least 3 transactions";
+  let zero_readers =
+    List.init (readers - 2) (fun i ->
+        let k = i + 3 in
+        r k x 0)
+  in
+  history
+    ([ w 1 x 1; c_inv 1; r_inv 2 x; ret 2 1 ] @ zero_readers)
+
+(* Figure 3: H is final-state opaque (serialize T1 then T2, committing the
+   pending tryC1), but its 4-event prefix H' is not: there T1 has not
+   invoked tryC, every completion aborts it, and read_2(X) -> 1 has no
+   possible writer. *)
+let fig3 =
+  history [ w 1 x 1; r 2 x 1; c 2; c 1 ]
+
+let fig3_prefix = History.prefix fig3 4
+
+(* Figure 4: opaque but not du-opaque.  The aborting T1's tryC covers
+   read_2(X) -> 1 (so each prefix completes T1 with C1 and is final-state
+   opaque), T3 rewrites 1 and commits before A1 arrives (so later prefixes
+   are final-state opaque through T3) — but at the moment read_2(X)
+   returned, no writer of 1 had begun committing. *)
+let fig4 =
+  history
+    [
+      w 1 x 1;
+      c_inv 1;
+      r 2 x 1;
+      w 3 x 1;
+      c 3;
+      aborted 1;
+    ]
+
+(* Figure 5: sequential; du-opaque via T1,T3,T2 but the read-commit-order
+   definition forces T2 < T3 (read_2(X) returns before tryC_3), making
+   read_2(Y) -> 1 illegal. *)
+let fig5 =
+  history [ w 1 x 1; c 1; r 2 x 1; w 3 x 1; w 3 y 1; c 3; r 2 y 1 ]
+
+(* Figure 6: du-opaque (serialize T2,T1) but not TMS2: X ∈ Wset(T1) ∩
+   Rset(T2) and T1's tryC completes before T2's begins, so TMS2 forces
+   T1 < T2 — making read_2(X) -> 0 illegal. *)
+let fig6 =
+  history [ r 1 x 0; r 2 x 0; w 1 x 1; c 1; w 2 y 1; c 2 ]
+
+type expectation = {
+  name : string;
+  claim : string;
+  history : History.t;
+  du_opaque : bool;
+  opaque : bool;
+  final_state : bool;
+  tms2 : bool option;
+  rco : bool option;
+}
+
+let catalog =
+  [
+    {
+      name = "fig1";
+      claim = "du-opaque via T2,T3,T1,T4 with legal local serializations";
+      history = fig1;
+      du_opaque = true;
+      opaque = true;
+      final_state = true;
+      tms2 = None;
+      rco = None;
+    };
+    {
+      name = "fig2(5)";
+      claim = "every finite prefix of the limit history is du-opaque";
+      history = fig2 ~readers:5;
+      du_opaque = true;
+      opaque = true;
+      final_state = true;
+      tms2 = None;
+      rco = None;
+    };
+    {
+      name = "fig3";
+      claim = "final-state opaque, but its prefix is not (so not opaque)";
+      history = fig3;
+      du_opaque = false;
+      opaque = false;
+      final_state = true;
+      tms2 = None;
+      rco = None;
+    };
+    {
+      name = "fig3'";
+      claim = "the prefix H' of fig3 is not final-state opaque";
+      history = fig3_prefix;
+      du_opaque = false;
+      opaque = false;
+      final_state = false;
+      tms2 = None;
+      rco = None;
+    };
+    {
+      name = "fig4";
+      claim = "opaque but not du-opaque (Theorem 10 strictness witness)";
+      history = fig4;
+      du_opaque = false;
+      opaque = true;
+      final_state = true;
+      tms2 = None;
+      rco = None;
+    };
+    {
+      name = "fig5";
+      claim = "sequential, du-opaque, but not opaque per GHS'08 (read-commit order)";
+      history = fig5;
+      du_opaque = true;
+      opaque = true;
+      final_state = true;
+      tms2 = None;
+      rco = Some false;
+    };
+    {
+      name = "fig6";
+      claim = "du-opaque but not TMS2";
+      history = fig6;
+      du_opaque = true;
+      opaque = true;
+      final_state = true;
+      tms2 = Some false;
+      rco = None;
+    };
+  ]

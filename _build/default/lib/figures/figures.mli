@@ -1,0 +1,61 @@
+(** The paper's example histories (Figures 1-6), encoded exactly, with the
+    verdicts the paper claims for them.
+
+    These are the reproduction's primary test vectors: every claim in the
+    catalog is machine-checked by the test suite and re-printed by the
+    benchmark harness ([figures] table). *)
+
+val fig1 : History.t
+(** Figure 1: a du-opaque history whose serialization [T2,T3,T1,T4] needs
+    the {e value-based} local-serialization legality — [read_1(X)] returns
+    [v] written by both [T2] (already committing) and [T3] (not yet);
+    the duplicate write is essential (cf. Theorem 11). *)
+
+val fig2 : readers:int -> History.t
+(** Figure 2, finite prefix with [readers - 2] zero-readers: [T1]'s [tryC]
+    pends forever, [T2] reads 1 from it, and transactions [T3..T_readers]
+    each read the initial 0 while overlapping both.  Every such prefix is
+    du-opaque, but every serialization must place all zero-readers before
+    [T1] — so the ω-limit has no serialization (Proposition 1: du-opacity
+    is not limit-closed without the completeness restriction). *)
+
+val fig3 : History.t
+(** Figure 3: final-state opaque but with a prefix ({!fig3_prefix}) that is
+    not — final-state opacity is not prefix-closed; hence [fig3] is not
+    opaque and not du-opaque. *)
+
+val fig3_prefix : History.t
+(** [H' = write_1(X,1) · read_2(X) -> 1]: no completion commits [T1], so the
+    read can never be legal. *)
+
+val fig4 : History.t
+(** Figure 4: opaque but {e not} du-opaque — [read_2(X)] returns 1, which
+    only the {e future} committer [T3] can justify.  The witness for
+    Theorem 10's strictness (DU-Opacity ⊊ Opacity). *)
+
+val fig5 : History.t
+(** Figure 5: a {e sequential} du-opaque history that violates the
+    read-commit-order definition of Guerraoui-Henzinger-Singh: the order
+    constraint forces [T2 < T3], but then [read_2(Y)] is illegal. *)
+
+val fig6 : History.t
+(** Figure 6: du-opaque but not TMS2 — [T1] and [T2] conflict on [X] and
+    [T1] finishes committing first, yet every valid serialization puts [T2]
+    first. *)
+
+(** {1 Catalog} *)
+
+type expectation = {
+  name : string;
+  claim : string;  (** the paper's claim, verbatim-ish *)
+  history : History.t;
+  du_opaque : bool;
+  opaque : bool;
+  final_state : bool;
+  tms2 : bool option;  (** [None]: the paper makes no claim *)
+  rco : bool option;
+}
+
+val catalog : expectation list
+(** All figures ([fig2] instantiated with 5 readers), with the paper's
+    verdicts. *)

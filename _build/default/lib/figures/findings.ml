@@ -1,0 +1,87 @@
+(** Reproduction findings: artefacts this implementation surfaced that the
+    paper's text does not anticipate.  Each is machine-checked by the test
+    suite; EXPERIMENTS.md discusses them.
+
+    {2 Finding 1: Lemma 1's construction fails under duplicate writes}
+
+    Lemma 1 claims: for {e any} du-opaque serialization [S] of [H] and any
+    prefix [H^i], some serialization [S^i] of [H^i] has [seq(S^i)] a
+    subsequence of [seq(S)].  The proof argues that the transaction [T_m]
+    serving a read in [S] must have invoked [tryC] before the read's
+    response ("since read_k(X) is legal in the local serialization ... the
+    prefix of H up to the response of read_k(X) must contain an invocation
+    of tryC_m").  That inference is {e value-based-legality blind}: with
+    duplicate writes, the read can be justified in the local serialization
+    by an older retained writer of the same value while the S-latest writer
+    has not started committing — the very flexibility the paper's own
+    Figure 1 exercises.
+
+    {!lemma1_gap} below is a concrete counterexample to the lemma's
+    {e statement} (not merely its proof):
+
+    {v
+    T1: W(Z,1) C          (commits early)
+    T3:        W(Z,3)   C (commits at event 10)
+    T5:          R(Z)->1      tryC        ... C (commits last)
+    T6:                        W(Z,1) C   (starts after the prefix)
+    v}
+
+    [S = T1,T3,T6,T5] is a valid du-opaque serialization of the full
+    history: globally [T5] reads 1 from [T6]; in the local serialization
+    (at the read's response only [T1] had invoked [tryC]) the value 1 is
+    justified by [T1].  But in the prefix [H^10] (up to [C3]), [T6] has not
+    appeared and [T3] is already {e committed} — so in the inherited order
+    [T1,T3,T5] the read of 1 sits above [T3]'s committed 3 and no choice of
+    decisions can fix it.  The prefix {e is} du-opaque ([T1,T5,T3] works) —
+    only the subsequence claim fails.
+
+    Consequences: the paper's proofs of Corollary 2 (prefix closure) and
+    Theorem 5 (limit closure), which invoke Lemma 1, are incomplete as
+    written for histories with duplicate writes; under the unique-writes
+    assumption (the setting of Theorem 11) the proof step is valid and our
+    property tests confirm the construction never fails there.
+    Prefix-closure itself appears to {e survive} — the checker-level
+    property campaign (thousands of random duplicate-write histories) found
+    no violation of Corollary 2's statement, it is only the particular
+    projection construction that breaks. *)
+
+(** {2 Finding 2: the §4.2 rendering of TMS2 does not imply du-opacity}
+
+    The paper conjectures TMS2 ⊆ du-opacity (for the I/O-automaton
+    definition).  The informal rendering its §4.2 works with — "if
+    [X ∈ Wset(T1) ∩ Rset(T2)] and [T1]'s [tryC] precedes [T2]'s, then
+    [T1 <S T2] for some final-state serialization [S]" — is strictly
+    weaker: the paper's own Figure 4 satisfies it vacuously ([T2] never
+    invokes [tryC], so no constraint fires) while famously not being
+    du-opaque.  The test suite pins both facts.  This does not bear on the
+    original TMS2, only on the paraphrase. *)
+
+open Dsl
+
+(** The counterexample history, the du-opaque serialization whose
+    projection fails, and the prefix length at which it fails. *)
+let lemma1_gap : History.t * (Event.tx list * Event.tx list) * int =
+  let h =
+    history
+      [
+        w 1 z 1;
+        c 1;
+        w 3 z 3;
+        r 5 z 1;
+        c 3;
+        (* --- prefix boundary: length 10 --- *)
+        c_inv 5;
+        w 6 z 1;
+        c 6;
+        committed 5;
+      ]
+  in
+  (h, ([ 1; 3; 6; 5 ], [ 1; 3; 6; 5 ]), 10)
+
+(** The serialization order Lemma 1's construction inherits for the prefix,
+    with the (forced) decisions: [T1, T3] committed, [T5] aborted.  The
+    test suite verifies this is NOT a serialization of the prefix, while
+    [T1, T5, T3] is. *)
+let lemma1_gap_projected_order = [ 1; 3; 5 ]
+
+let lemma1_gap_working_order = [ 1; 5; 3 ]

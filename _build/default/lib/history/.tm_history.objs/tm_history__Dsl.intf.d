@@ -1,0 +1,1 @@
+lib/history/dsl.mli: Event History

@@ -1,0 +1,1 @@
+lib/history/gen.ml: Array Event Hashtbl History List Random

@@ -1,0 +1,1 @@
+lib/history/gen.mli: History Random

@@ -1,0 +1,1 @@
+lib/history/history.ml: Array Event Fmt Int List Map Op Txn

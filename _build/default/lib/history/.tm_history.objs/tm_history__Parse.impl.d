@@ -1,0 +1,1 @@
+lib/history/parse.ml: Buffer Event Fmt History List String

@@ -1,0 +1,1 @@
+lib/history/parse.mli: History

@@ -1,0 +1,1 @@
+lib/history/pretty.mli: Format History

@@ -1,0 +1,1 @@
+lib/history/stats.ml: Event Fmt Hashtbl History Int List Txn

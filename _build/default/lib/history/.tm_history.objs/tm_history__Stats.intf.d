@@ -1,0 +1,1 @@
+lib/history/stats.mli: Format History

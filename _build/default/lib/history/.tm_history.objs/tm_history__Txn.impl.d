@@ -1,0 +1,1 @@
+lib/history/txn.ml: Array Event Fmt Hashtbl Int List Op

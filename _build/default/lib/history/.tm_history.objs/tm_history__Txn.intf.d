@@ -1,0 +1,1 @@
+lib/history/txn.mli: Event Format Op

@@ -1,0 +1,29 @@
+open Event
+
+let x : tvar = 0
+let y : tvar = 1
+let z : tvar = 2
+let v : tvar = 4
+
+let r k var value = [ Inv (k, Read var); Res (k, Read_ok value) ]
+let r_abort k var = [ Inv (k, Read var); Res (k, Aborted) ]
+let w k var value = [ Inv (k, Write (var, value)); Res (k, Write_ok) ]
+let w_abort k var value = [ Inv (k, Write (var, value)); Res (k, Aborted) ]
+let c k = [ Inv (k, Try_commit); Res (k, Committed) ]
+let c_abort k = [ Inv (k, Try_commit); Res (k, Aborted) ]
+let a k = [ Inv (k, Try_abort); Res (k, Aborted) ]
+let r_inv k var = [ Inv (k, Read var) ]
+let w_inv k var value = [ Inv (k, Write (var, value)) ]
+let c_inv k = [ Inv (k, Try_commit) ]
+let a_inv k = [ Inv (k, Try_abort) ]
+let ret k value = [ Res (k, Read_ok value) ]
+let w_ok k = [ Res (k, Write_ok) ]
+let committed k = [ Res (k, Committed) ]
+let aborted k = [ Res (k, Aborted) ]
+let history fragments = History.of_events_exn (List.concat fragments)
+
+let seq programs =
+  let fragments =
+    List.concat (List.mapi (fun i program -> program (i + 1)) programs)
+  in
+  history fragments

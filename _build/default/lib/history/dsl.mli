@@ -1,0 +1,76 @@
+(** Combinators for writing histories in tests and examples.
+
+    Events compose as lists, so fine-grained interleavings (pending
+    operations, delayed responses) are expressed by splitting an operation
+    into its {e invocation} and {e response} parts:
+
+    {[
+      (* Figure 3 of the paper: W1(X,1) · R2(X)->1 · tryC2->C2 · tryC1->C1 *)
+      let h =
+        Dsl.(
+          history
+            [ w_inv 1 x 1; w_ok 1;
+              r 2 x 1;
+              c 2;
+              c 1 ])
+    ]} *)
+
+open Event
+
+(** {1 Variables} *)
+
+val x : tvar
+val y : tvar
+val z : tvar
+val v : tvar  (** variable id 4 — prints as [V] *)
+
+(** {1 Complete operations (invocation immediately followed by response)} *)
+
+val r : tx -> tvar -> value -> t list
+(** [r k x v] — [read_k(x)] returning [v]. *)
+
+val r_abort : tx -> tvar -> t list
+(** [read_k(x)] returning [A_k]. *)
+
+val w : tx -> tvar -> value -> t list
+(** [w k x v] — [write_k(x, v)] returning [ok_k]. *)
+
+val w_abort : tx -> tvar -> value -> t list
+
+val c : tx -> t list
+(** [tryC_k() -> C_k] *)
+
+val c_abort : tx -> t list
+(** [tryC_k() -> A_k] *)
+
+val a : tx -> t list
+(** [tryA_k() -> A_k] *)
+
+(** {1 Split operations} *)
+
+val r_inv : tx -> tvar -> t list
+val w_inv : tx -> tvar -> value -> t list
+val c_inv : tx -> t list
+val a_inv : tx -> t list
+
+val ret : tx -> value -> t list
+(** Response event: the pending read of [T_k] returns a value. *)
+
+val w_ok : tx -> t list
+(** the pending write returns [ok_k] *)
+
+val committed : tx -> t list
+(** the pending [tryC_k] returns [C_k] *)
+
+val aborted : tx -> t list
+(** the pending operation returns [A_k] *)
+
+(** {1 Assembly} *)
+
+val history : t list list -> History.t
+(** Concatenate the fragments and validate.
+    @raise Invalid_argument when the result is ill-formed. *)
+
+val seq : (tx -> t list list) list -> History.t
+(** [seq [p1; p2; ...]] builds a t-sequential history running program [p_i]
+    as transaction [T_i] ([i] starting at 1), in order. *)

@@ -1,0 +1,63 @@
+type tx = int
+type tvar = int
+type value = int
+
+let t0 : tx = 0
+let init_value : value = 0
+
+type invocation =
+  | Read of tvar
+  | Write of tvar * value
+  | Try_commit
+  | Try_abort
+
+type response =
+  | Read_ok of value
+  | Write_ok
+  | Committed
+  | Aborted
+
+type t =
+  | Inv of tx * invocation
+  | Res of tx * response
+
+let tx_of = function Inv (k, _) | Res (k, _) -> k
+let is_inv = function Inv _ -> true | Res _ -> false
+let is_res = function Res _ -> true | Inv _ -> false
+
+let matches inv res =
+  match inv, res with
+  | _, Aborted -> true
+  | Read _, Read_ok _ -> true
+  | Write _, Write_ok -> true
+  | Try_commit, Committed -> true
+  | (Read _ | Write _ | Try_commit | Try_abort),
+    (Read_ok _ | Write_ok | Committed) -> false
+
+let equal_invocation (a : invocation) (b : invocation) = a = b
+let equal_response (a : response) (b : response) = a = b
+let equal (a : t) (b : t) = a = b
+let compare : t -> t -> int = Stdlib.compare
+
+let pp_tvar ppf x =
+  let names = [| "X"; "Y"; "Z"; "W"; "V"; "U" |] in
+  if x >= 0 && x < Array.length names then Fmt.string ppf names.(x)
+  else Fmt.pf ppf "X%d" x
+
+let pp_invocation ppf = function
+  | Read x -> Fmt.pf ppf "R(%a)" pp_tvar x
+  | Write (x, v) -> Fmt.pf ppf "W(%a,%d)" pp_tvar x v
+  | Try_commit -> Fmt.string ppf "tryC"
+  | Try_abort -> Fmt.string ppf "tryA"
+
+let pp_response ppf = function
+  | Read_ok v -> Fmt.pf ppf "ret(%d)" v
+  | Write_ok -> Fmt.string ppf "ok"
+  | Committed -> Fmt.string ppf "C"
+  | Aborted -> Fmt.string ppf "A"
+
+let pp ppf = function
+  | Inv (k, i) -> Fmt.pf ppf "inv%d:%a" k pp_invocation i
+  | Res (k, r) -> Fmt.pf ppf "res%d:%a" k pp_response r
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,76 @@
+(** Events of transactional-memory histories.
+
+    This module defines the vocabulary of the paper's Section 2: transactions
+    issue {e t-operations} — [read], [write], [tryCommit], [tryAbort] — each a
+    matching pair of an {e invocation} event and a {e response} event.  A
+    history is a sequence of such events (see {!History}).
+
+    Values are integers; every t-object (t-variable) implicitly holds the
+    initial value {!init_value}, written by the imaginary initial transaction
+    [T0] that the paper assumes commits before any other transaction. *)
+
+(** {1 Identifiers} *)
+
+type tx = int
+(** Transaction identifier.  Identifiers must be positive: [0] is reserved
+    for the imaginary initial transaction [T0], which never appears in
+    histories but is implicitly the first transaction of every
+    serialization. *)
+
+type tvar = int
+(** Transactional object (t-object / t-variable) identifier, [>= 0]. *)
+
+type value = int
+(** Values written to and read from t-variables. *)
+
+val t0 : tx
+(** The reserved identifier of the imaginary initial transaction. *)
+
+val init_value : value
+(** The value every t-variable holds initially (written by [T0]). *)
+
+(** {1 Events} *)
+
+type invocation =
+  | Read of tvar            (** [read_k(X)] *)
+  | Write of tvar * value   (** [write_k(X, v)] *)
+  | Try_commit              (** [tryC_k()] *)
+  | Try_abort               (** [tryA_k()] *)
+
+type response =
+  | Read_ok of value  (** a read returning a value in the domain [V] *)
+  | Write_ok          (** [ok_k], successful write *)
+  | Committed         (** [C_k] *)
+  | Aborted           (** [A_k] — a response every t-operation may return *)
+
+type t =
+  | Inv of tx * invocation
+  | Res of tx * response
+
+val tx_of : t -> tx
+(** Transaction the event belongs to. *)
+
+val is_inv : t -> bool
+val is_res : t -> bool
+
+val matches : invocation -> response -> bool
+(** [matches inv res] holds when [res] is a legal response to [inv]:
+    any invocation may respond [Aborted]; otherwise [Read _] pairs with
+    [Read_ok _], [Write _] with [Write_ok], [Try_commit] with [Committed],
+    and [Try_abort] with nothing but [Aborted]. *)
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+val equal_invocation : invocation -> invocation -> bool
+val equal_response : response -> response -> bool
+val compare : t -> t -> int
+
+val pp_tvar : Format.formatter -> tvar -> unit
+(** Variables print as [X], [Y], [Z], [W], [V], [U] for ids 0-5 and [X6],
+    [X7], ... beyond, mirroring the paper's figures. *)
+
+val pp_invocation : Format.formatter -> invocation -> unit
+val pp_response : Format.formatter -> response -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,170 @@
+type params = {
+  n_txns : int;
+  n_vars : int;
+  n_threads : int;
+  max_ops : int;
+  read_ratio : float;
+  mode : [ `Snapshot_values | `Random_values ];
+  value_range : int;
+  unique_writes : bool;
+  commit_ratio : float;
+  abort_ratio : float;
+  pending_ratio : float;
+}
+
+let default =
+  {
+    n_txns = 8;
+    n_vars = 3;
+    n_threads = 3;
+    max_ops = 4;
+    read_ratio = 0.5;
+    mode = `Snapshot_values;
+    value_range = 3;
+    unique_writes = false;
+    commit_ratio = 0.85;
+    abort_ratio = 0.1;
+    pending_ratio = 0.1;
+  }
+
+type pending =
+  | P_read of Event.tvar
+  | P_write of Event.tvar * Event.value
+  | P_tryc
+  | P_trya
+
+type txn_state = {
+  id : Event.tx;
+  mutable ops_left : int;
+  mutable pending : pending option;
+  buffer : (Event.tvar, Event.value) Hashtbl.t;
+}
+
+type thread = { mutable current : txn_state option }
+
+let run params rng =
+  let state = Array.make (max 1 params.n_vars) Event.init_value in
+  let threads = Array.init (max 1 params.n_threads) (fun _ -> { current = None }) in
+  let txns_left = ref params.n_txns in
+  let next_id = ref 1 in
+  let next_unique = ref 1 in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let flip p = Random.State.float rng 1.0 < p in
+  let pick_var () = Random.State.int rng (max 1 params.n_vars) in
+  let pick_value () =
+    if params.unique_writes then begin
+      let v = !next_unique in
+      incr next_unique;
+      v
+    end
+    else 1 + Random.State.int rng (max 1 params.value_range)
+  in
+  let has_work t = t.current <> None || !txns_left > 0 in
+  let start_txn t =
+    let id = !next_id in
+    incr next_id;
+    decr txns_left;
+    let txn =
+      {
+        id;
+        ops_left = 1 + Random.State.int rng (max 1 params.max_ops);
+        pending = None;
+        buffer = Hashtbl.create 4;
+      }
+    in
+    t.current <- Some txn;
+    txn
+  in
+  let invoke t txn inv =
+    emit (Event.Inv (txn.id, inv));
+    if flip params.pending_ratio then t.current <- None (* abandoned *)
+    else
+      txn.pending <-
+        Some
+          (match inv with
+          | Event.Read var -> P_read var
+          | Event.Write (var, value) -> P_write (var, value)
+          | Event.Try_commit -> P_tryc
+          | Event.Try_abort -> P_trya)
+  in
+  let respond t txn p =
+    txn.pending <- None;
+    match p with
+    | P_read var ->
+        if flip params.abort_ratio then begin
+          emit (Event.Res (txn.id, Event.Aborted));
+          t.current <- None
+        end
+        else
+          let value =
+            match Hashtbl.find_opt txn.buffer var with
+            | Some v -> v (* internal read: own deferred write *)
+            | None -> (
+                match params.mode with
+                | `Snapshot_values -> state.(var)
+                | `Random_values ->
+                    Random.State.int rng (max 1 params.value_range))
+          in
+          emit (Event.Res (txn.id, Event.Read_ok value))
+    | P_write (var, value) ->
+        if flip params.abort_ratio then begin
+          emit (Event.Res (txn.id, Event.Aborted));
+          t.current <- None
+        end
+        else begin
+          Hashtbl.replace txn.buffer var value;
+          emit (Event.Res (txn.id, Event.Write_ok))
+        end
+    | P_tryc ->
+        if flip params.abort_ratio then emit (Event.Res (txn.id, Event.Aborted))
+        else begin
+          Hashtbl.iter (fun var value -> state.(var) <- value) txn.buffer;
+          emit (Event.Res (txn.id, Event.Committed))
+        end;
+        t.current <- None
+    | P_trya ->
+        emit (Event.Res (txn.id, Event.Aborted));
+        t.current <- None
+  in
+  let step t =
+    match t.current with
+    | None -> if !txns_left > 0 then ignore (start_txn t)
+    | Some txn -> (
+        match txn.pending with
+        | Some p -> respond t txn p
+        | None ->
+            if txn.ops_left > 0 then begin
+              txn.ops_left <- txn.ops_left - 1;
+              let inv =
+                if flip params.read_ratio then Event.Read (pick_var ())
+                else Event.Write (pick_var (), pick_value ())
+              in
+              invoke t txn inv
+            end
+            else if flip params.pending_ratio then
+              (* Complete but never t-complete: no tryC is ever invoked. *)
+              t.current <- None
+            else
+              invoke t txn
+                (if flip params.commit_ratio then Event.Try_commit
+                 else Event.Try_abort))
+  in
+  let runnable () =
+    let candidates = ref [] in
+    Array.iter (fun t -> if has_work t then candidates := t :: !candidates) threads;
+    !candidates
+  in
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | candidates ->
+        let n = List.length candidates in
+        let t = List.nth candidates (Random.State.int rng n) in
+        step t;
+        loop ()
+  in
+  loop ();
+  History.of_events_exn (List.rev !events)
+
+let run_seed params seed = run params (Random.State.make [| seed |])

@@ -1,0 +1,51 @@
+(** Seeded random generation of well-formed histories.
+
+    The generator interleaves [n_threads] sequential streams of transactions
+    at event granularity under a uniformly random schedule, so generated
+    histories exhibit realistic overlap structure (pending operations,
+    concurrent commits, live transactions).
+
+    Read results are produced in one of two modes:
+
+    - [`Snapshot_values]: a global committed state is maintained as the
+      schedule unfolds; an external read returns the committed value of the
+      variable at the moment of its response, and a committing transaction
+      installs its writes atomically at its commit response.  This is
+      "read-committed with deferred update": many such histories are
+      du-opaque, but unrepeatable reads and write skew still arise under
+      interleaving, so both verdicts occur — ideal for differential testing
+      of checkers.
+    - [`Random_values]: reads return uniform values from
+      [0 .. value_range - 1]; most such histories violate every criterion.
+
+    With [unique_writes = true], written values are drawn from a global
+    counter so no two writes (of any transaction) carry the same value —
+    histories then satisfy the premise of the paper's Theorem 11. *)
+
+type params = {
+  n_txns : int;  (** number of transactions to generate *)
+  n_vars : int;
+  n_threads : int;  (** concurrency degree of the interleaving *)
+  max_ops : int;  (** operations per transaction, drawn from [1 .. max_ops] *)
+  read_ratio : float;  (** probability an operation is a read *)
+  mode : [ `Snapshot_values | `Random_values ];
+  value_range : int;  (** domain of written (and random-read) values *)
+  unique_writes : bool;
+  commit_ratio : float;
+      (** probability a transaction attempts [tryC] (vs [tryA]) *)
+  abort_ratio : float;
+      (** probability a [tryC] responds [A_k]; also the per-operation
+          probability of a spurious operation-level abort *)
+  pending_ratio : float;
+      (** probability a transaction's last invoked operation is left without
+          a response (and the transaction without further events) *)
+}
+
+val default : params
+(** 8 transactions, 3 variables, 3 threads, snapshot values, moderate
+    aborts. *)
+
+val run : params -> Random.State.t -> History.t
+
+val run_seed : params -> int -> History.t
+(** [run] with a fresh PRNG seeded by the integer. *)

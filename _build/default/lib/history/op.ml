@@ -1,0 +1,25 @@
+type t = {
+  tx : Event.tx;
+  inv : Event.invocation;
+  inv_index : int;
+  res : Event.response option;
+  res_index : int option;
+}
+
+let is_complete op = Option.is_some op.res
+let aborted op = op.res = Some Event.Aborted
+
+let read_value op =
+  match op.inv, op.res with
+  | Event.Read x, Some (Event.Read_ok v) -> Some (x, v)
+  | _, _ -> None
+
+let write op =
+  match op.inv, op.res with
+  | Event.Write (x, v), Some Event.Write_ok -> Some (x, v)
+  | _, _ -> None
+
+let pp ppf op =
+  match op.res with
+  | None -> Fmt.pf ppf "%a?" Event.pp_invocation op.inv
+  | Some r -> Fmt.pf ppf "%a->%a" Event.pp_invocation op.inv Event.pp_response r

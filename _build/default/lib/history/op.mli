@@ -1,0 +1,32 @@
+(** Matched t-operations.
+
+    A t-operation is a matching pair of an invocation event and (when the
+    operation is complete) its response event.  {!History} extracts, for each
+    transaction, the sequence of its t-operations in program order, recording
+    the positions of both events in the history so that real-time relations
+    between operations (used pervasively by the checkers) can be decided by
+    integer comparison. *)
+
+type t = {
+  tx : Event.tx;              (** owning transaction *)
+  inv : Event.invocation;
+  inv_index : int;            (** position of the invocation in the history *)
+  res : Event.response option;  (** [None] when the operation is incomplete *)
+  res_index : int option;     (** position of the response, when complete *)
+}
+
+val is_complete : t -> bool
+
+val aborted : t -> bool
+(** The operation responded [Aborted]. *)
+
+val read_value : t -> (Event.tvar * Event.value) option
+(** [Some (x, v)] when the operation is a read of [x] that returned the
+    value [v] (not [Aborted]). *)
+
+val write : t -> (Event.tvar * Event.value) option
+(** [Some (x, v)] when the operation is a {e successful} write of [v] to [x]
+    (responded [Write_ok]). Incomplete or aborted writes yield [None]: by
+    Definition 2 they are completed with [A_k] and never take effect. *)
+
+val pp : Format.formatter -> t -> unit

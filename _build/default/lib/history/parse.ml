@@ -1,0 +1,228 @@
+open Event
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* A tiny cursor over one token. *)
+type cursor = { tok : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.tok then Some c.tok.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "in %S: expected %c, found %c" c.tok ch x
+  | None -> fail "in %S: expected %c, found end of token" c.tok ch
+
+let expect_str c s = String.iter (expect c) s
+
+let at_end c = c.pos >= String.length c.tok
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let int_ c =
+  let start = c.pos in
+  (match peek c with Some '-' -> advance c | _ -> ());
+  let rec go () =
+    match peek c with
+    | Some ch when is_digit ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if c.pos = start || (c.pos = start + 1 && c.tok.[start] = '-') then
+    fail "in %S: expected an integer at position %d" c.tok start;
+  int_of_string (String.sub c.tok start (c.pos - start))
+
+let tvar_ c =
+  let named =
+    match peek c with
+    | Some 'X' -> Some 0
+    | Some 'Y' -> Some 1
+    | Some 'Z' -> Some 2
+    | Some 'W' -> Some 3
+    | Some 'V' -> Some 4
+    | Some 'U' -> Some 5
+    | _ -> None
+  in
+  match named with
+  | None -> fail "in %S: expected a variable name" c.tok
+  | Some 0 ->
+      advance c;
+      (* [X] alone is id 0; [X12] is id 12. *)
+      (match peek c with Some ch when is_digit ch -> int_ c | _ -> 0)
+  | Some id ->
+      advance c;
+      id
+
+(* [->suffix] of a read: an integer or [A]. *)
+let read_response c k =
+  expect_str c "->";
+  match peek c with
+  | Some 'A' ->
+      advance c;
+      Res (k, Aborted)
+  | _ -> Res (k, Read_ok (int_ c))
+
+let write_response c k =
+  expect_str c "->";
+  match peek c with
+  | Some 'A' ->
+      advance c;
+      Res (k, Aborted)
+  | Some 'o' ->
+      expect_str c "ok";
+      Res (k, Write_ok)
+  | _ -> fail "in %S: expected ok or A after ->" c.tok
+
+let tryc_response c k =
+  expect_str c "->";
+  match peek c with
+  | Some 'A' ->
+      advance c;
+      Res (k, Aborted)
+  | Some 'C' ->
+      advance c;
+      Res (k, Committed)
+  | _ -> fail "in %S: expected C or A after ->" c.tok
+
+let parse_token tok : Event.t list =
+  let c = { tok; pos = 0 } in
+  let events =
+    match peek c with
+    | Some 'R' ->
+        advance c;
+        let k = int_ c in
+        expect c '(';
+        let var = tvar_ c in
+        expect c ')';
+        let inv = Inv (k, Read var) in
+        if at_end c then [ inv ] else [ inv; read_response c k ]
+    | Some 'W' ->
+        advance c;
+        let k = int_ c in
+        expect c '(';
+        let var = tvar_ c in
+        expect c ',';
+        let value = int_ c in
+        expect c ')';
+        let inv = Inv (k, Write (var, value)) in
+        if at_end c then [ inv ] else [ inv; write_response c k ]
+    | Some 'C' ->
+        advance c;
+        let k = int_ c in
+        let inv = Inv (k, Try_commit) in
+        if at_end c then [ inv ] else [ inv; tryc_response c k ]
+    | Some 'A' ->
+        advance c;
+        let k = int_ c in
+        let inv = Inv (k, Try_abort) in
+        if at_end c then [ inv ]
+        else begin
+          expect_str c "->A";
+          [ inv; Res (k, Aborted) ]
+        end
+    | Some 'r' ->
+        expect_str c "ret";
+        let k = int_ c in
+        expect c ':';
+        let res =
+          match peek c with
+          | Some 'o' ->
+              expect_str c "ok";
+              Write_ok
+          | Some 'C' ->
+              advance c;
+              Committed
+          | Some 'A' ->
+              advance c;
+              Aborted
+          | _ -> Read_ok (int_ c)
+        in
+        [ Res (k, res) ]
+    | Some ch -> fail "in %S: unexpected start %c" tok ch
+    | None -> fail "empty token"
+  in
+  if not (at_end c) then
+    fail "in %S: trailing characters at position %d" tok c.pos;
+  events
+
+let strip_comments line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize text =
+  String.split_on_char '\n' text
+  |> List.concat_map (fun line ->
+         strip_comments line
+         |> String.split_on_char ' '
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.concat_map (String.split_on_char '\r')
+         |> List.filter (fun s -> s <> ""))
+
+let of_string text =
+  match List.concat_map parse_token (tokenize text) with
+  | exception Parse_error msg -> Error msg
+  | events -> (
+      match History.of_events events with
+      | Ok h -> Ok h
+      | Error e -> Error (Fmt.str "%a" History.pp_error e))
+
+let of_string_exn text =
+  match of_string text with
+  | Ok h -> h
+  | Error msg -> invalid_arg ("Parse.of_string_exn: " ^ msg)
+
+let tvar_name var =
+  if var >= 0 && var <= 5 then String.make 1 "XYZWVU".[var]
+  else "X" ^ string_of_int var
+
+let inv_token k = function
+  | Read var -> Fmt.str "R%d(%s)" k (tvar_name var)
+  | Write (var, value) -> Fmt.str "W%d(%s,%d)" k (tvar_name var) value
+  | Try_commit -> Fmt.str "C%d" k
+  | Try_abort -> Fmt.str "A%d" k
+
+let res_suffix = function
+  | Read_ok v -> string_of_int v
+  | Write_ok -> "ok"
+  | Committed -> "C"
+  | Aborted -> "A"
+
+let to_text h =
+  let n = History.length h in
+  let buf = Buffer.create (n * 8) in
+  let emit tok =
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf tok
+  in
+  let adjacent_response i k =
+    if i + 1 >= n then None
+    else
+      match History.get h (i + 1) with
+      | Res (k', res) when k = k' -> Some res
+      | Res _ | Inv _ -> None
+  in
+  let rec go i =
+    if i < n then begin
+      match History.get h i with
+      | Inv (k, inv) -> (
+          match adjacent_response i k with
+          | Some res ->
+              emit (inv_token k inv ^ "->" ^ res_suffix res);
+              go (i + 2)
+          | None ->
+              emit (inv_token k inv);
+              go (i + 1))
+      | Res (k, res) ->
+          emit (Fmt.str "ret%d:%s" k (res_suffix res));
+          go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Textual format for histories.
+
+    Whitespace-separated tokens; [#] starts a comment that runs to the end of
+    the line.  Operations:
+
+    - [R1(X)->0] — complete read by [T1] of [X] returning [0];
+      [R1(X)->A] — aborted read; [R1(X)] — invocation only.
+    - [W1(X,5)->ok] — complete write; [W1(X,5)->A]; [W1(X,5)] — invocation.
+    - [C1->C] — [tryC_1] committing; [C1->A]; [C1] — invocation only.
+    - [A1->A] — [tryA_1] aborting; [A1] — invocation only.
+    - [ret1:0], [ret1:ok], [ret1:C], [ret1:A] — a standalone response to the
+      pending operation of [T1], for delayed responses.
+
+    Variables are [X Y Z W V U] (ids 0-5) or [X<n>] for id [n].
+
+    [to_text] inverts [of_string]: it prints an operation compactly when its
+    two events are adjacent in the history and splits it otherwise. *)
+
+val of_string : string -> (History.t, string) result
+val of_string_exn : string -> History.t
+val to_text : History.t -> string

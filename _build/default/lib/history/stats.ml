@@ -1,0 +1,76 @@
+type t = {
+  events : int;
+  txns : int;
+  committed : int;
+  aborted : int;
+  commit_pending : int;
+  live : int;
+  reads : int;
+  writes : int;
+  vars : int;
+  max_overlap : int;
+  overlapping_pairs : int;
+}
+
+let of_history h =
+  let infos = History.infos h in
+  let count pred = List.length (List.filter pred infos) in
+  let reads =
+    List.fold_left (fun acc t -> acc + List.length (Txn.reads t)) 0 infos
+  in
+  let writes =
+    List.fold_left (fun acc t -> acc + List.length (Txn.writes t)) 0 infos
+  in
+  let vars =
+    List.concat_map (fun t -> Txn.read_set t @ Txn.write_set t) infos
+    |> List.sort_uniq Int.compare
+    |> List.length
+  in
+  let max_overlap =
+    let live = Hashtbl.create 16 in
+    let best = ref 0 in
+    List.iteri
+      (fun i ev ->
+        let k = Event.tx_of ev in
+        let txn = History.info h k in
+        if i = txn.Txn.first_index then Hashtbl.replace live k ();
+        best := max !best (Hashtbl.length live);
+        if i = txn.Txn.last_index then Hashtbl.remove live k)
+      (History.to_list h);
+    !best
+  in
+  let overlapping_pairs =
+    let ts = History.txns h in
+    let rec pairs acc = function
+      | [] -> acc
+      | k :: rest ->
+          pairs
+            (acc + List.length (List.filter (fun m -> History.overlap h k m) rest))
+            rest
+    in
+    pairs 0 ts
+  in
+  {
+    events = History.length h;
+    txns = List.length infos;
+    committed = count (fun t -> t.Txn.status = Txn.Committed);
+    aborted = count (fun t -> t.Txn.status = Txn.Aborted);
+    commit_pending = count (fun t -> t.Txn.status = Txn.Commit_pending);
+    live =
+      count (fun t ->
+          match t.Txn.status with
+          | Txn.Live | Txn.Abort_pending -> true
+          | Txn.Committed | Txn.Aborted | Txn.Commit_pending -> false);
+    reads;
+    writes;
+    vars;
+    max_overlap;
+    overlapping_pairs;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "%d events, %d txns (%dC/%dA/%dP/%dL), %d reads, %d writes, %d vars, \
+     overlap max %d, %d overlapping pairs"
+    s.events s.txns s.committed s.aborted s.commit_pending s.live s.reads
+    s.writes s.vars s.max_overlap s.overlapping_pairs

@@ -1,0 +1,21 @@
+(** Descriptive statistics of a history, for experiment reporting and for
+    eyeballing whether a workload actually produced the concurrency it was
+    meant to. *)
+
+type t = {
+  events : int;
+  txns : int;
+  committed : int;
+  aborted : int;
+  commit_pending : int;
+  live : int;  (** neither t-complete nor commit/abort-pending *)
+  reads : int;  (** value-returning reads *)
+  writes : int;  (** successful writes *)
+  vars : int;  (** distinct variables touched *)
+  max_overlap : int;
+      (** maximum number of simultaneously live transactions *)
+  overlapping_pairs : int;  (** pairs not ordered by real time *)
+}
+
+val of_history : History.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+type status =
+  | Committed
+  | Aborted
+  | Commit_pending
+  | Abort_pending
+  | Live
+
+type t = {
+  id : Event.tx;
+  ops : Op.t array;
+  first_index : int;
+  last_index : int;
+  status : status;
+}
+
+let is_t_complete info =
+  match info.status with
+  | Committed | Aborted -> true
+  | Commit_pending | Abort_pending | Live -> false
+
+let is_complete info =
+  Array.for_all Op.is_complete info.ops
+
+let tryc_inv_index info =
+  Array.fold_left
+    (fun acc (op : Op.t) ->
+      match acc, op.Op.inv with
+      | None, Event.Try_commit -> Some op.Op.inv_index
+      | acc, _ -> acc)
+    None info.ops
+
+type read = {
+  var : Event.tvar;
+  value : Event.value;
+  res_index : int;
+  kind : [ `Internal of Event.value | `External ];
+}
+
+let reads info =
+  (* Walk ops in program order, tracking the latest own write per variable
+     to classify each read as internal or external. *)
+  let buffer : (Event.tvar, Event.value) Hashtbl.t = Hashtbl.create 8 in
+  let acc =
+    Array.fold_left
+      (fun acc (op : Op.t) ->
+        match Op.read_value op, Op.write op with
+        | Some (var, value), _ ->
+            let res_index =
+              match op.Op.res_index with
+              | Some i -> i
+              | None -> assert false (* read_value implies a response *)
+            in
+            let kind =
+              match Hashtbl.find_opt buffer var with
+              | Some v -> `Internal v
+              | None -> `External
+            in
+            { var; value; res_index; kind } :: acc
+        | None, Some (var, value) ->
+            Hashtbl.replace buffer var value;
+            acc
+        | None, None -> acc)
+      [] info.ops
+  in
+  List.rev acc
+
+let writes info =
+  let acc =
+    Array.fold_left
+      (fun acc op ->
+        match Op.write op with Some wr -> wr :: acc | None -> acc)
+      [] info.ops
+  in
+  List.rev acc
+
+let final_writes info =
+  let buffer : (Event.tvar, Event.value) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (x, v) -> Hashtbl.replace buffer x v) (writes info);
+  Hashtbl.fold (fun x v acc -> (x, v) :: acc) buffer []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let read_set info =
+  List.map (fun r -> r.var) (reads info)
+  |> List.sort_uniq Int.compare
+
+let write_set info =
+  List.map fst (writes info) |> List.sort_uniq Int.compare
+
+let commit_choices info =
+  match info.status with
+  | Committed -> [ true ]
+  | Commit_pending -> [ true; false ]
+  | Aborted | Abort_pending | Live -> [ false ]
+
+let pp_status ppf status =
+  Fmt.string ppf
+    (match status with
+    | Committed -> "committed"
+    | Aborted -> "aborted"
+    | Commit_pending -> "commit-pending"
+    | Abort_pending -> "abort-pending"
+    | Live -> "live")
+
+let pp ppf info =
+  Fmt.pf ppf "T%d[%a] %a" info.id pp_status info.status
+    Fmt.(array ~sep:sp Op.pp)
+    info.ops

@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Array List Runner Sched

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: History List Random Sched Sim_mem Tm_stm

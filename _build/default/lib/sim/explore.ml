@@ -1,0 +1,53 @@
+type outcome = { runs : int; exhaustive : bool }
+
+(* Execute one schedule: follow [prefix], then always pick fiber 0; record
+   the number of runnable fibers at every scheduling point. *)
+let execute ~make prefix =
+  let fibers, extract = make () in
+  let factors = ref [] in
+  let step = ref 0 in
+  let choose n =
+    factors := n :: !factors;
+    let i = if !step < Array.length prefix then prefix.(!step) else 0 in
+    incr step;
+    i
+  in
+  Sched.run ~choose fibers;
+  (Array.of_list (List.rev !factors), extract ())
+
+let run ?(max_runs = 10_000) ~make ~on_result () =
+  let stack = ref [ [||] ] in
+  let runs = ref 0 in
+  let cut = ref false in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        if !runs >= max_runs then cut := true
+        else begin
+          incr runs;
+          let factors, result = execute ~make prefix in
+          on_result result;
+          (* Branch at every scheduling point at or after the prefix end,
+             pushing deeper branch points first (DFS order). *)
+          for pos = Array.length factors - 1 downto Array.length prefix do
+            for choice = factors.(pos) - 1 downto 1 do
+              let child = Array.make (pos + 1) 0 in
+              Array.blit prefix 0 child 0 (Array.length prefix)
+              (* positions [length prefix .. pos-1] stay 0 *);
+              child.(pos) <- choice;
+              stack := child :: !stack
+            done
+          done;
+          loop ()
+        end
+  in
+  loop ();
+  { runs = !runs; exhaustive = not !cut }
+
+let explore_stm ?max_runs ?max_retries ~stm ~params ~seed ~on_history () =
+  let make () = Runner.setup ?max_retries ~stm ~params ~seed () in
+  run ?max_runs ~make
+    ~on_result:(fun (r : Runner.result) -> on_history r.Runner.history)
+    ()

@@ -1,0 +1,36 @@
+(** Systematic schedule enumeration (stateless model checking, DFS).
+
+    Re-executes a deterministic program once per schedule: a schedule is the
+    sequence of chooser decisions, a child schedule branches at one
+    scheduling point to a different runnable fiber.  Exhaustive for
+    terminating programs when [max_runs] is large enough; the return value
+    says whether the bound cut the exploration short.
+
+    This is how the small-configuration STM theorems are checked: {e every}
+    interleaving of a 2×2 TL2 workload yields a du-opaque history — not
+    just the sampled ones. *)
+
+type outcome = {
+  runs : int;  (** schedules executed *)
+  exhaustive : bool;  (** false if [max_runs] stopped the enumeration *)
+}
+
+val run :
+  ?max_runs:int ->
+  make:(unit -> (unit -> unit) list * (unit -> 'a)) ->
+  on_result:('a -> unit) ->
+  unit ->
+  outcome
+(** [make] must return a {e fresh} program (fibers sharing fresh state) plus
+    a result extractor; [on_result] is called once per completed schedule. *)
+
+val explore_stm :
+  ?max_runs:int ->
+  ?max_retries:int ->
+  stm:string ->
+  params:Tm_stm.Workload.params ->
+  seed:int ->
+  on_history:(History.t -> unit) ->
+  unit ->
+  outcome
+(** Enumerate schedules of a simulated STM workload ({!Runner.setup}). *)

@@ -1,0 +1,38 @@
+type result = { history : History.t; stats : Tm_stm.Harness.stats }
+
+let setup ?(max_retries = 50) ~stm ~params ~seed () =
+  let (module A : Tm_stm.Tm_intf.ALGORITHM) = Tm_stm.Registry.find_exn stm in
+  let module T = A (Sim_mem) in
+  let instance =
+    Tm_stm.Tm_intf.instantiate
+      (module T)
+      ~n_vars:params.Tm_stm.Workload.n_vars
+  in
+  let programs =
+    Tm_stm.Workload.generate params (Random.State.make [| seed |])
+  in
+  let log = ref [] in
+  let emit ev = log := ev :: !log in
+  let ids = ref 1 in
+  let next_id () =
+    let id = !ids in
+    incr ids;
+    id
+  in
+  let stats = Tm_stm.Harness.empty_stats () in
+  let fibers =
+    List.map
+      (fun thread_prog () ->
+        Tm_stm.Harness.run_thread instance ~emit ~next_id ~stats ~max_retries
+          thread_prog)
+      programs
+  in
+  let extract () =
+    { history = History.of_events_exn (List.rev !log); stats }
+  in
+  (fibers, extract)
+
+let run ?max_retries ~stm ~params ~seed () =
+  let fibers, extract = setup ?max_retries ~stm ~params ~seed () in
+  Sched.run_seeded ~seed:(seed + 0x5eed) fibers;
+  extract ()

@@ -1,0 +1,29 @@
+(** Run STM workloads under the deterministic scheduler and record the
+    resulting history.
+
+    Each simulated thread is a fiber driving its share of the workload
+    through the chosen algorithm ({!Tm_stm.Registry}) instantiated over
+    {!Sim_mem}; the scheduler interleaves them at memory-access granularity.
+    Same [seed] (and same chooser) — same history, byte for byte: the
+    safety experiments and their failures are replayable. *)
+
+type result = { history : History.t; stats : Tm_stm.Harness.stats }
+
+val setup :
+  ?max_retries:int ->
+  stm:string ->
+  params:Tm_stm.Workload.params ->
+  seed:int ->
+  unit ->
+  (unit -> unit) list * (unit -> result)
+(** Fresh shared state, fibers, and a result extractor — the building block
+    {!Explore} re-invokes once per schedule. *)
+
+val run :
+  ?max_retries:int ->
+  stm:string ->
+  params:Tm_stm.Workload.params ->
+  seed:int ->
+  unit ->
+  result
+(** [setup] + {!Sched.run_seeded} (schedule seed derived from [seed]). *)

@@ -1,0 +1,46 @@
+type _ Effect.t += Yield : unit Effect.t
+
+let yield () =
+  try Effect.perform Yield
+  with Effect.Unhandled _ ->
+    failwith "Sched.yield: no scheduler is running"
+
+let run ~choose fibers =
+  (* Runnable fibers, each a thunk that advances one slice when called. *)
+  let runnable : (unit -> unit) list ref = ref [] in
+  let enqueue t = runnable := !runnable @ [ t ] in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  enqueue (fun () -> Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+  in
+  List.iter
+    (fun fiber -> enqueue (fun () -> Effect.Deep.match_with fiber () handler))
+    fibers;
+  let rec loop () =
+    match !runnable with
+    | [] -> ()
+    | fibers ->
+        let n = List.length fibers in
+        let i = choose n in
+        if i < 0 || i >= n then invalid_arg "Sched.run: chooser out of range";
+        let fiber = List.nth fibers i in
+        runnable := List.filteri (fun j _ -> j <> i) fibers;
+        fiber ();
+        loop ()
+  in
+  loop ()
+
+let run_random rng fibers =
+  run ~choose:(fun n -> Random.State.int rng n) fibers
+
+let run_seeded ~seed fibers = run_random (Random.State.make [| seed |]) fibers

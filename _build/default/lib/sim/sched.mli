@@ -1,0 +1,23 @@
+(** Deterministic cooperative scheduler over OCaml 5 effects.
+
+    Fibers yield at every simulated memory access ({!Sim_mem}), so the
+    scheduler's choice sequence fully determines the interleaving: a seeded
+    random chooser gives reproducible stress runs, an explicit chooser
+    supports systematic schedule enumeration ({!Explore}).  Everything runs
+    on one domain — data races in simulated code are impossible by
+    construction, which is what makes recorded histories exact. *)
+
+val yield : unit -> unit
+(** Cooperative scheduling point.  Must be called from inside {!run}.
+    @raise Failure when no scheduler is running. *)
+
+val run : choose:(int -> int) -> (unit -> unit) list -> unit
+(** [run ~choose fibers] runs the fibers to completion.  At every scheduling
+    point, [choose n] must return an index in [0 .. n-1] selecting which of
+    the [n] currently runnable fibers advances.  Runs until every fiber has
+    returned. *)
+
+val run_seeded : seed:int -> (unit -> unit) list -> unit
+(** [run] with a uniformly random chooser. *)
+
+val run_random : Random.State.t -> (unit -> unit) list -> unit

@@ -1,0 +1,34 @@
+(** {!Tm_stm.Mem_intf.MEM} for the simulator: plain references behind a
+    scheduling point.  Yielding {e before} each access makes every memory
+    operation a potential context switch, so the scheduler can produce any
+    interleaving a sequentially-consistent machine could — at exactly the
+    granularity the STM algorithms synchronise at.  Single-domain, hence
+    race-free and deterministic. *)
+
+type 'a cell = 'a ref
+
+let make v = ref v
+
+let get c =
+  Sched.yield ();
+  !c
+
+let set c v =
+  Sched.yield ();
+  c := v
+
+let cas c expected desired =
+  Sched.yield ();
+  if !c = expected then begin
+    c := desired;
+    true
+  end
+  else false
+
+let fetch_add c n =
+  Sched.yield ();
+  let v = !c in
+  c := v + n;
+  v
+
+let pause = Sched.yield

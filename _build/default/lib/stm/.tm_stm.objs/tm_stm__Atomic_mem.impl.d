@@ -1,0 +1,1 @@
+lib/stm/atomic_mem.ml: Atomic Domain

@@ -1,0 +1,1 @@
+lib/stm/dirty.ml: Array Hashtbl Mem_intf Tl2 Tm_intf

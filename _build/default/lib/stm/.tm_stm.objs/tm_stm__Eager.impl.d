@@ -1,0 +1,1 @@
+lib/stm/eager.ml: Array Event List Mem_intf Tm_intf

@@ -1,0 +1,1 @@
+lib/stm/global_lock.ml: Array Event List Mem_intf Tm_intf

@@ -1,0 +1,1 @@
+lib/stm/harness.ml: Event List Tm_intf Workload

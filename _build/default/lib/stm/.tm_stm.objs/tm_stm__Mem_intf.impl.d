@@ -1,0 +1,1 @@
+lib/stm/mem_intf.ml:

@@ -1,0 +1,1 @@
+lib/stm/mvcc.ml: Array Event Hashtbl Int List Mem_intf Tm_intf

@@ -1,0 +1,1 @@
+lib/stm/norec.ml: Array Event Hashtbl List Mem_intf Tm_intf

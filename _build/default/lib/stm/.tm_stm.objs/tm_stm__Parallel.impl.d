@@ -1,0 +1,1 @@
+lib/stm/parallel.ml: Atomic Atomic_mem Domain Harness History List Mutex Random Tm_intf Unix Workload

@@ -1,0 +1,1 @@
+lib/stm/pessimistic.ml: Array Event List Mem_intf Tm_intf

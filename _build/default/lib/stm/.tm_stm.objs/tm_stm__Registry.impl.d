@@ -1,0 +1,1 @@
+lib/stm/registry.ml: Atomic_mem Dirty Eager Fmt Global_lock List Mvcc Norec Pessimistic String Tl2 Tm_intf Tml Twopl

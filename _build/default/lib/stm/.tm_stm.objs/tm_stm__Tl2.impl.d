@@ -1,0 +1,1 @@
+lib/stm/tl2.ml: Array Event Hashtbl Int List Mem_intf Tm_intf

@@ -1,0 +1,1 @@
+lib/stm/tm_intf.ml: Mem_intf

@@ -1,0 +1,1 @@
+lib/stm/tml.ml: Array Event List Mem_intf Tm_intf

@@ -1,0 +1,1 @@
+lib/stm/twopl.ml: Array Event List Mem_intf Tm_intf

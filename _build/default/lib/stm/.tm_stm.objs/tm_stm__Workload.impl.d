@@ -1,0 +1,1 @@
+lib/stm/workload.ml: Array Fmt List Random

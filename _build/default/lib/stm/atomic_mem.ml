@@ -1,0 +1,11 @@
+(** {!Mem_intf.MEM} over OCaml 5 [Atomic] cells — the real-memory world used
+    when running STMs on domains. *)
+
+type 'a cell = 'a Atomic.t
+
+let make = Atomic.make
+let get = Atomic.get
+let set = Atomic.set
+let cas = Atomic.compare_and_set
+let fetch_add = Atomic.fetch_and_add
+let pause = Domain.cpu_relax

@@ -1,0 +1,29 @@
+(** Negative control: TL2 with the read-side validation deleted.
+
+    Writers are full TL2 (locked, versioned, deferred commit), but reads
+    return whatever is in memory — ignoring lock bits and versions.  A
+    transaction can thus observe half of a concurrent commit (a torn
+    snapshot): the classic zombie anomaly opacity was invented to exclude.
+    Every dirty value comes from a transaction that {e has} invoked [tryC],
+    so violations here are global-legality violations rather than
+    deferred-update ones — the complementary failure mode to {!Eager}. *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  module Base = Tl2.Make (M)
+
+  type t = Base.t
+  type txn = Base.txn
+
+  let name = "dirty-read"
+  let create = Base.create
+  let begin_txn = Base.begin_txn
+
+  let read (txn : txn) x =
+    match Hashtbl.find_opt txn.Base.wset x with
+    | Some v -> v
+    | None -> M.get txn.Base.tm.Base.data.(x) (* no validation at all *)
+
+  let write = Base.write
+  let commit = Base.commit
+  let abort = Base.abort
+end

@@ -1,0 +1,31 @@
+(** Negative control: eager in-place writes with no isolation whatsoever.
+
+    Writes hit memory immediately (undo-logged for [tryA]), reads are plain
+    loads, commit always succeeds.  Readers routinely return values written
+    by transactions that have not invoked [tryC] — the precise behaviour
+    Definition 3's local-serialization clause outlaws — so this control
+    produces deferred-update violations even on schedules where the final
+    state happens to look serial. *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = { data : int M.cell array }
+
+  type txn = { tm : t; mutable undo : (int * int) list }
+
+  let name = "eager"
+
+  let create ~n_vars =
+    { data = Array.init n_vars (fun _ -> M.make Event.init_value) }
+
+  let begin_txn tm = { tm; undo = [] }
+  let read txn x = M.get txn.tm.data.(x)
+
+  let write txn x v =
+    txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
+    M.set txn.tm.data.(x) v
+
+  let commit _txn = true
+
+  let abort txn =
+    List.iter (fun (x, v) -> M.set txn.tm.data.(x) v) txn.undo
+end

@@ -1,0 +1,44 @@
+(** The serial baseline: one global spin lock around every transaction.
+
+    Trivially du-opaque (executions are literally t-sequential) and
+    trivially abort-free; its flat throughput curve is the yardstick the
+    scalable STMs are measured against in the benchmark tables. *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = { big_lock : int M.cell; data : int M.cell array }
+
+  type txn = { tm : t; mutable undo : (int * int) list }
+
+  let name = "global-lock"
+
+  let create ~n_vars =
+    {
+      big_lock = M.make 0;
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+    }
+
+  let rec lock tm =
+    if M.cas tm.big_lock 0 1 then ()
+    else begin
+      M.pause ();
+      lock tm
+    end
+
+  let begin_txn tm =
+    lock tm;
+    { tm; undo = [] }
+
+  let read txn x = M.get txn.tm.data.(x)
+
+  let write txn x v =
+    txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
+    M.set txn.tm.data.(x) v
+
+  let commit txn =
+    M.set txn.tm.big_lock 0;
+    true
+
+  let abort txn =
+    List.iter (fun (x, v) -> M.set txn.tm.data.(x) v) txn.undo;
+    M.set txn.tm.big_lock 0
+end

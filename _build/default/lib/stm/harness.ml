@@ -1,0 +1,79 @@
+(** Drives workloads through an STM instance, recording the history.
+
+    Each transaction attempt gets a fresh transaction identifier (the TM
+    model treats a retry as a new transaction), and each t-operation is
+    bracketed by its invocation and response events sent to the [sink] —
+    so the recorded sequence is by construction a well-formed history of
+    the run.  Shared by the deterministic simulator ([Tm_sim.Runner]) and
+    the domain-parallel runner ({!Parallel}). *)
+
+type stats = {
+  mutable commits : int;
+  mutable commit_aborts : int;  (** [tryC] returned [A_k] *)
+  mutable op_aborts : int;  (** a read or write raised [Abort] *)
+  mutable gave_up : int;  (** retry budget exhausted; program skipped *)
+}
+
+let empty_stats () =
+  { commits = 0; commit_aborts = 0; op_aborts = 0; gave_up = 0 }
+
+let add_stats a b =
+  {
+    commits = a.commits + b.commits;
+    commit_aborts = a.commit_aborts + b.commit_aborts;
+    op_aborts = a.op_aborts + b.op_aborts;
+    gave_up = a.gave_up + b.gave_up;
+  }
+
+let attempts s = s.commits + s.commit_aborts + s.op_aborts
+
+(* One attempt; true = committed. *)
+let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~id prog =
+  let txn = I.begin_txn () in
+  match
+    List.iter
+      (fun op ->
+        match op with
+        | Workload.Read x -> (
+            emit (Event.Inv (id, Event.Read x));
+            match I.read txn x with
+            | v -> emit (Event.Res (id, Event.Read_ok v))
+            | exception Tm_intf.Abort ->
+                emit (Event.Res (id, Event.Aborted));
+                raise Tm_intf.Abort)
+        | Workload.Write (x, v) -> (
+            emit (Event.Inv (id, Event.Write (x, v)));
+            match I.write txn x v with
+            | () -> emit (Event.Res (id, Event.Write_ok))
+            | exception Tm_intf.Abort ->
+                emit (Event.Res (id, Event.Aborted));
+                raise Tm_intf.Abort))
+      prog
+  with
+  | exception Tm_intf.Abort ->
+      stats.op_aborts <- stats.op_aborts + 1;
+      false
+  | () ->
+      emit (Event.Inv (id, Event.Try_commit));
+      if I.commit txn then begin
+        emit (Event.Res (id, Event.Committed));
+        stats.commits <- stats.commits + 1;
+        true
+      end
+      else begin
+        emit (Event.Res (id, Event.Aborted));
+        stats.commit_aborts <- stats.commit_aborts + 1;
+        false
+      end
+
+let run_thread instance ~emit ~next_id ~stats ~max_retries
+    (programs : Workload.thread_prog) =
+  List.iter
+    (fun prog ->
+      let rec retry budget =
+        if budget = 0 then stats.gave_up <- stats.gave_up + 1
+        else if not (run_attempt instance ~emit ~stats ~id:(next_id ()) prog)
+        then retry (budget - 1)
+      in
+      retry max_retries)
+    programs

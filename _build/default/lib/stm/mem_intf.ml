@@ -1,0 +1,33 @@
+(** The shared-memory interface STM algorithms are written against.
+
+    Every algorithm in this library is a functor over [MEM], so the same
+    code runs in two worlds:
+
+    - {!Atomic_mem}: OCaml 5 [Atomic] cells on real domains, used by the
+      throughput benchmarks;
+    - [Tm_sim.Sim_mem]: cells that yield to a deterministic cooperative
+      scheduler before every access, used to enumerate and replay
+      interleavings reproducibly (every [get]/[set]/[cas] is a potential
+      context-switch point, which is exactly the granularity at which the
+      paper's histories interleave).
+
+    Only the operations the algorithms actually need are included. *)
+
+module type MEM = sig
+  type 'a cell
+
+  val make : 'a -> 'a cell
+  val get : 'a cell -> 'a
+  val set : 'a cell -> 'a -> unit
+
+  val cas : 'a cell -> 'a -> 'a -> bool
+  (** Compare-and-set, by structural equality on immediate values (the
+      algorithms only CAS integers). *)
+
+  val fetch_add : int cell -> int -> int
+  (** Atomic fetch-and-add; returns the previous value. *)
+
+  val pause : unit -> unit
+  (** Busy-wait hint: [Domain.cpu_relax] on real memory, a scheduler yield
+      in simulation.  Every spin loop must call it. *)
+end

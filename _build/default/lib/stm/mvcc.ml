@@ -1,0 +1,106 @@
+(** A multi-version STM (JVSTM/LSA-style), from scratch.
+
+    Every variable keeps a list of committed versions stamped by a global
+    clock.  A transaction reads the newest version no newer than its start
+    timestamp — a consistent snapshot by construction — so {e read-only
+    transactions never abort} and never validate.  Update transactions
+    serialise on a commit lock and abort if any variable they touched was
+    committed past their snapshot (first-committer-wins on both reads and
+    writes, which is conservative but simple and clearly opaque).
+
+    Deferred update throughout: new versions are published only inside the
+    committer's critical section, after its [tryC] — so every history is
+    du-opaque, adding a third distinct deferred-update design (alongside
+    TL2's per-location versioned locks and NOrec's value validation) to the
+    safety experiments. *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type versions = (int * int) list
+  (** newest first: (commit timestamp, value); never empty *)
+
+  type t = {
+    clock : int M.cell;
+    commit_lock : int M.cell;
+    store : versions M.cell array;
+  }
+
+  type txn = {
+    tm : t;
+    start : int;
+    wset : (int, int) Hashtbl.t;
+    mutable rset : int list;
+  }
+
+  let name = "mvcc"
+
+  let create ~n_vars =
+    {
+      clock = M.make 0;
+      commit_lock = M.make 0;
+      store = Array.init n_vars (fun _ -> M.make [ (0, Event.init_value) ]);
+    }
+
+  let begin_txn tm =
+    { tm; start = M.get tm.clock; wset = Hashtbl.create 8; rset = [] }
+
+  let read txn x =
+    match Hashtbl.find_opt txn.wset x with
+    | Some v -> v
+    | None ->
+        let versions = M.get txn.tm.store.(x) in
+        let rec visible = function
+          | [] -> Event.init_value (* unreachable: version 0 always present *)
+          | (ts, v) :: older ->
+              if ts <= txn.start then v else visible older
+        in
+        txn.rset <- x :: txn.rset;
+        visible versions
+
+  let write txn x v = Hashtbl.replace txn.wset x v
+
+  let newest_ts versions =
+    match versions with (ts, _) :: _ -> ts | [] -> 0
+
+  let commit txn =
+    if Hashtbl.length txn.wset = 0 then true (* read-only: never aborts *)
+    else begin
+      let tm = txn.tm in
+      let rec lock () =
+        if M.cas tm.commit_lock 0 1 then ()
+        else begin
+          M.pause ();
+          lock ()
+        end
+      in
+      lock ();
+      (* First-committer-wins: anything we read or will overwrite must not
+         have advanced past our snapshot. *)
+      let touched =
+        List.sort_uniq Int.compare
+          (txn.rset @ Hashtbl.fold (fun x _ acc -> x :: acc) txn.wset [])
+      in
+      let stale =
+        List.exists
+          (fun x -> newest_ts (M.get tm.store.(x)) > txn.start)
+          touched
+      in
+      if stale then begin
+        M.set tm.commit_lock 0;
+        false
+      end
+      else begin
+        (* Publish the versions before advancing the clock: a transaction
+           beginning at timestamp [ts] must find every [ts]-stamped version
+           already in place, and readers at [ts - 1] skip them. *)
+        let ts = M.get tm.clock + 1 in
+        Hashtbl.iter
+          (fun x v -> M.set tm.store.(x) ((ts, v) :: M.get tm.store.(x)))
+          txn.wset;
+        M.set tm.clock ts;
+        M.set tm.commit_lock 0;
+        true
+      end
+    end
+
+  let abort _txn = () (* fully deferred *)
+end

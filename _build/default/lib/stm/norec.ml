@@ -1,0 +1,93 @@
+(** NOrec (Dalessandro, Spear, Scott — PPoPP 2010), from scratch.
+
+    No ownership records: a single global sequence lock orders writers, and
+    readers detect concurrent commits by value-based revalidation of their
+    entire read set.  Deferred update throughout — a write buffer is applied
+    in place only while holding the sequence lock inside [commit].  Like
+    TL2, every history NOrec produces should be du-opaque; unlike TL2, two
+    writers never commit concurrently, which is why it shines at low thread
+    counts and struggles at scale — the shape the throughput benchmark
+    reproduces. *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = { glock : int M.cell; data : int M.cell array }
+
+  type txn = {
+    tm : t;
+    mutable snapshot : int;
+    mutable rset : (int * int) list;  (* variable, value seen *)
+    wset : (int, int) Hashtbl.t;
+  }
+
+  let name = "norec"
+
+  let create ~n_vars =
+    {
+      glock = M.make 0;
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+    }
+
+  let rec wait_even tm =
+    let l = M.get tm.glock in
+    if l land 1 = 0 then l
+    else begin
+      M.pause ();
+      wait_even tm
+    end
+
+  let begin_txn tm =
+    { tm; snapshot = wait_even tm; rset = []; wset = Hashtbl.create 8 }
+
+  (* Value-based revalidation: succeed with a fresh stable snapshot, or
+     abort if any previously read location changed. *)
+  let rec validate txn =
+    let time = wait_even txn.tm in
+    let unchanged =
+      List.for_all (fun (x, v) -> M.get txn.tm.data.(x) = v) txn.rset
+    in
+    if not unchanged then raise Tm_intf.Abort
+    else if M.get txn.tm.glock <> time then begin
+      M.pause ();
+      validate txn
+    end
+    else time
+
+  let rec read txn x =
+    match Hashtbl.find_opt txn.wset x with
+    | Some v -> v
+    | None ->
+        let v = M.get txn.tm.data.(x) in
+        if M.get txn.tm.glock = txn.snapshot then begin
+          txn.rset <- (x, v) :: txn.rset;
+          v
+        end
+        else begin
+          txn.snapshot <- validate txn;
+          read txn x
+        end
+
+  let write txn x v = Hashtbl.replace txn.wset x v
+
+  let commit txn =
+    if Hashtbl.length txn.wset = 0 then true
+    else begin
+      let tm = txn.tm in
+      match
+        let rec lock () =
+          if M.cas tm.glock txn.snapshot (txn.snapshot + 1) then ()
+          else begin
+            txn.snapshot <- validate txn;
+            lock ()
+          end
+        in
+        lock ()
+      with
+      | () ->
+          Hashtbl.iter (fun x v -> M.set tm.data.(x) v) txn.wset;
+          M.set tm.glock (txn.snapshot + 2);
+          true
+      | exception Tm_intf.Abort -> false
+    end
+
+  let abort _txn = ()
+end

@@ -1,0 +1,56 @@
+(** Domain-parallel execution over real atomic memory.
+
+    Used two ways: with [record = true] for safety experiments (every event
+    goes through a mutex-serialised log whose append order is a valid
+    real-time order of the run) and with [record = false] for the
+    throughput benchmarks (no shared log on the hot path). *)
+
+type result = {
+  history : History.t option;
+  stats : Harness.stats;
+  elapsed_s : float;
+}
+
+let throughput r =
+  float_of_int r.stats.Harness.commits /. r.elapsed_s
+
+let run ?(record = false) ?(max_retries = 100) ~algorithm ~params ~seed () =
+  let (module A : Tm_intf.ALGORITHM) = algorithm in
+  let module T = A (Atomic_mem) in
+  let instance = Tm_intf.instantiate (module T) ~n_vars:params.Workload.n_vars in
+  let programs = Workload.generate params (Random.State.make [| seed |]) in
+  let log = ref [] in
+  let log_mutex = Mutex.create () in
+  let emit =
+    if record then fun ev ->
+      Mutex.lock log_mutex;
+      log := ev :: !log;
+      Mutex.unlock log_mutex
+    else fun _ -> ()
+  in
+  let ids = Atomic.make 1 in
+  let next_id () = Atomic.fetch_and_add ids 1 in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.map
+      (fun thread_prog ->
+        let stats = Harness.empty_stats () in
+        let d =
+          Domain.spawn (fun () ->
+              Harness.run_thread instance ~emit ~next_id ~stats ~max_retries
+                thread_prog;
+              stats)
+        in
+        d)
+      programs
+  in
+  let stats =
+    List.fold_left
+      (fun acc d -> Harness.add_stats acc (Domain.join d))
+      (Harness.empty_stats ()) domains
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let history =
+    if record then Some (History.of_events_exn (List.rev !log)) else None
+  in
+  { history; stats; elapsed_s }

@@ -1,0 +1,56 @@
+(** Simplified pessimistic STM — the paper's Section 5 negative example.
+
+    Modelled on the shape of pessimistic software lock elision (Afek,
+    Matveev, Shavit — DISC 2012): {e no transaction ever aborts}.  Writers
+    serialise on a global writer lock and update in place as they go;
+    readers run completely unsynchronised.  A reader can therefore return a
+    value written by a writer that has not yet invoked [tryC] — precisely
+    the deferred-update violation du-opacity forbids — and can assemble
+    inconsistent snapshots across a writer's in-flight updates.
+
+    (The real algorithm adds a quiescence/versioning mechanism for readers;
+    dropping it is deliberate, to produce the anomalous histories the
+    checkers must catch.  See DESIGN.md, substitutions.) *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = { wlock : int M.cell; data : int M.cell array }
+
+  type txn = { tm : t; mutable writer : bool; mutable undo : (int * int) list }
+
+  let name = "pessimistic"
+
+  let create ~n_vars =
+    {
+      wlock = M.make 0;
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+    }
+
+  let begin_txn tm = { tm; writer = false; undo = [] }
+
+  let read txn x = M.get txn.tm.data.(x) (* unvalidated, possibly dirty *)
+
+  let write txn x v =
+    if not txn.writer then begin
+      let rec lock () =
+        if M.cas txn.tm.wlock 0 1 then ()
+        else begin
+          M.pause ();
+          lock ()
+        end
+      in
+      lock ();
+      txn.writer <- true
+    end;
+    txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
+    M.set txn.tm.data.(x) v
+
+  let commit txn =
+    if txn.writer then M.set txn.tm.wlock 0;
+    true (* never aborts *)
+
+  let abort txn =
+    if txn.writer then begin
+      List.iter (fun (x, v) -> M.set txn.tm.data.(x) v) txn.undo;
+      M.set txn.tm.wlock 0
+    end
+end

@@ -1,0 +1,35 @@
+(** Name-indexed catalogue of the STM algorithms.
+
+    [safe] algorithms are expected to produce only du-opaque histories;
+    [controls] are deliberately broken and expected to be caught by the
+    checkers — the split drives the [stm-safety] experiment. *)
+
+let algorithms : (string * (module Tm_intf.ALGORITHM)) list =
+  [
+    ("tl2", (module Tl2.Make));
+    ("norec", (module Norec.Make));
+    ("mvcc", (module Mvcc.Make));
+    ("tml", (module Tml.Make));
+    ("2pl", (module Twopl.Make));
+    ("global-lock", (module Global_lock.Make));
+    ("pessimistic", (module Pessimistic.Make));
+    ("dirty-read", (module Dirty.Make));
+    ("eager", (module Eager.Make));
+  ]
+
+let safe = [ "tl2"; "norec"; "mvcc"; "tml"; "2pl"; "global-lock" ]
+let controls = [ "pessimistic"; "dirty-read"; "eager" ]
+
+let find name = List.assoc_opt name algorithms
+
+let find_exn name =
+  match find name with
+  | Some a -> a
+  | None ->
+      Fmt.invalid_arg "unknown STM %S (available: %s)" name
+        (String.concat ", " (List.map fst algorithms))
+
+let atomic_instance name ~n_vars : (module Tm_intf.INSTANCE) =
+  let (module A : Tm_intf.ALGORITHM) = find_exn name in
+  let module T = A (Atomic_mem) in
+  Tm_intf.instantiate (module T) ~n_vars

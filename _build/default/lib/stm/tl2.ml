@@ -1,0 +1,118 @@
+(** TL2 (Dice, Shalev, Shavit — DISC 2006), word-based, from scratch.
+
+    Deferred update: writes go to a private buffer and reach memory only
+    inside [commit], after the global version clock is advanced and the
+    read set validated — so no transaction ever reads from a transaction
+    that has not invoked [tryC].  TL2 is the canonical du-opaque STM; the
+    integration tests check every history it produces against
+    {!Tm_checker.Du_opacity}.
+
+    Per-variable metadata is a versioned lock word [version lsl 1 | locked];
+    the global clock is advanced with fetch-and-add.  Lock acquisition uses
+    a bounded spin and aborts on contention (lazy acquisition keeps the
+    algorithm deadlock-free without ordering). *)
+
+(* Unsealed (no [: Tm_intf.TM]) so that the {!Dirty} negative control can
+   reuse the writer side while replacing the read protocol. *)
+module Make (M : Mem_intf.MEM) = struct
+  type t = {
+    clock : int M.cell;
+    locks : int M.cell array;
+    data : int M.cell array;
+  }
+
+  type txn = {
+    tm : t;
+    rv : int;  (* read version: clock sample at begin *)
+    wset : (int, int) Hashtbl.t;
+    mutable rset : int list;
+  }
+
+  let name = "tl2"
+
+  let create ~n_vars =
+    {
+      clock = M.make 0;
+      locks = Array.init n_vars (fun _ -> M.make 0);
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+    }
+
+  let begin_txn tm =
+    { tm; rv = M.get tm.clock; wset = Hashtbl.create 8; rset = [] }
+
+  let locked l = l land 1 = 1
+  let version l = l asr 1
+
+  let read txn x =
+    match Hashtbl.find_opt txn.wset x with
+    | Some v -> v
+    | None ->
+        let l1 = M.get txn.tm.locks.(x) in
+        let v = M.get txn.tm.data.(x) in
+        let l2 = M.get txn.tm.locks.(x) in
+        if locked l1 || l1 <> l2 || version l1 > txn.rv then raise Tm_intf.Abort
+        else begin
+          txn.rset <- x :: txn.rset;
+          v
+        end
+
+  let write txn x v = Hashtbl.replace txn.wset x v
+
+  let max_spin = 64
+
+  let release tm vars =
+    List.iter
+      (fun x ->
+        let l = M.get tm.locks.(x) in
+        M.set tm.locks.(x) (l land lnot 1))
+      vars
+
+  let commit txn =
+    let tm = txn.tm in
+    if Hashtbl.length txn.wset = 0 then true (* read-only fast path *)
+    else begin
+      let vars =
+        Hashtbl.fold (fun x _ acc -> x :: acc) txn.wset []
+        |> List.sort Int.compare
+      in
+      let rec acquire acquired = function
+        | [] -> Some acquired
+        | x :: rest ->
+            let rec try_lock spins =
+              let l = M.get tm.locks.(x) in
+              if (not (locked l)) && M.cas tm.locks.(x) l (l lor 1) then true
+              else if spins = 0 then false
+              else begin
+                M.pause ();
+                try_lock (spins - 1)
+              end
+            in
+            if try_lock max_spin then acquire (x :: acquired) rest
+            else begin
+              release tm acquired;
+              None
+            end
+      in
+      match acquire [] vars with
+      | None -> false
+      | Some acquired ->
+          let wv = M.fetch_add tm.clock 1 + 1 in
+          let read_valid x =
+            let l = M.get tm.locks.(x) in
+            if Hashtbl.mem txn.wset x then version l <= txn.rv
+            else (not (locked l)) && version l <= txn.rv
+          in
+          if wv <> txn.rv + 1 && not (List.for_all read_valid txn.rset) then begin
+            release tm acquired;
+            false
+          end
+          else begin
+            Hashtbl.iter (fun x v -> M.set tm.data.(x) v) txn.wset;
+            (* Unlock and publish the new version in one store per word. *)
+            List.iter (fun x -> M.set tm.locks.(x) (wv lsl 1)) acquired;
+            true
+          end
+    end
+
+  let abort _txn = () (* fully deferred: nothing to undo or release *)
+end

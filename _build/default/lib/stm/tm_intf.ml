@@ -1,0 +1,67 @@
+(** The interface every STM algorithm implements.
+
+    Transactions operate on integer-valued t-variables [0 .. n_vars - 1]
+    (matching the history model: variables hold {!Event.init_value}
+    initially).  A t-operation that cannot proceed raises {!Abort} — the
+    implementation must have released any resources first, so the caller
+    only needs to retry with a fresh transaction.  [commit] returning
+    [false] is the [tryC -> A_k] case. *)
+
+exception Abort
+
+module type TM = sig
+  type t
+  (** Shared state: the variables plus the algorithm's metadata (clocks,
+      locks, sequence numbers). *)
+
+  type txn
+
+  val name : string
+
+  val create : n_vars:int -> t
+
+  val begin_txn : t -> txn
+
+  val read : txn -> int -> int
+  (** @raise Abort when the transaction must abort (state already
+      released). *)
+
+  val write : txn -> int -> int -> unit
+  (** @raise Abort likewise. *)
+
+  val commit : txn -> bool
+  (** [tryC]: [true] = committed, [false] = aborted.  Either way the
+      transaction is finished and its resources released. *)
+
+  val abort : txn -> unit
+  (** [tryA]: always succeeds; releases resources, undoes eager writes. *)
+end
+
+(** An STM algorithm: a [TM] for any memory. *)
+module type ALGORITHM = functor (M : Mem_intf.MEM) -> TM
+
+(** A [TM] instantiated over a concrete state, so runners can drive it
+    without functor plumbing. *)
+module type INSTANCE = sig
+  type txn
+
+  val name : string
+  val begin_txn : unit -> txn
+  val read : txn -> int -> int
+  val write : txn -> int -> int -> unit
+  val commit : txn -> bool
+  val abort : txn -> unit
+end
+
+let instantiate (module T : TM) ~n_vars : (module INSTANCE) =
+  let state = T.create ~n_vars in
+  (module struct
+    type txn = T.txn
+
+    let name = T.name
+    let begin_txn () = T.begin_txn state
+    let read = T.read
+    let write = T.write
+    let commit = T.commit
+    let abort = T.abort
+  end)

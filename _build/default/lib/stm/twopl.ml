@@ -1,0 +1,84 @@
+(** Strict two-phase locking with wait-die, eager writes and undo logs.
+
+    The classic database discipline transplanted to TM: every access takes
+    the variable's exclusive lock, writes go in place, all locks are held to
+    the end.  Wait-die keeps it deadlock-free: on conflict an older
+    transaction (smaller timestamp) spins, a younger one dies ([A_k] on the
+    operation) and is retried by the harness as a fresh transaction.
+    [tryC] never returns [A_k].
+
+    Because locks are held until after commit, no transaction ever reads a
+    value written by one that has not finished — strictness buys du-opacity
+    even though updates are eager.  Contrast with {!Pessimistic}, which
+    drops the reader-side protection and loses the property (the paper's
+    Section 5 point about pessimistic STMs). *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = {
+    ts : int M.cell;
+    locks : int M.cell array;  (* 0 = free, ts + 1 = owner's timestamp *)
+    data : int M.cell array;
+  }
+
+  type txn = {
+    tm : t;
+    stamp : int;
+    mutable held : int list;
+    mutable undo : (int * int) list;
+  }
+
+  let name = "2pl";;
+
+  let create ~n_vars =
+    {
+      ts = M.make 0;
+      locks = Array.init n_vars (fun _ -> M.make 0);
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+    }
+
+  let begin_txn tm = { tm; stamp = M.fetch_add tm.ts 1; held = []; undo = [] }
+
+  let release txn =
+    List.iter (fun x -> M.set txn.tm.locks.(x) 0) txn.held;
+    txn.held <- []
+
+  let rollback txn =
+    List.iter (fun (x, v) -> M.set txn.tm.data.(x) v) txn.undo;
+    txn.undo <- [];
+    release txn
+
+  let rec acquire txn x =
+    if List.mem x txn.held then ()
+    else
+      let l = M.get txn.tm.locks.(x) in
+      if l = 0 then begin
+        if M.cas txn.tm.locks.(x) 0 (txn.stamp + 1) then
+          txn.held <- x :: txn.held
+        else acquire txn x
+      end
+      else if txn.stamp < l - 1 then begin
+        (* Older than the owner: wait. *)
+        M.pause ();
+        acquire txn x
+      end
+      else begin
+        (* Younger: die.  Roll back before signalling the abort. *)
+        rollback txn;
+        raise Tm_intf.Abort
+      end
+
+  let read txn x =
+    acquire txn x;
+    M.get txn.tm.data.(x)
+
+  let write txn x v =
+    acquire txn x;
+    txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
+    M.set txn.tm.data.(x) v
+
+  let commit txn =
+    release txn;
+    true
+
+  let abort txn = rollback txn
+end

@@ -1,0 +1,82 @@
+(** Workload generation for the STM experiments.
+
+    A workload is, per thread, a list of transaction programs; a program is
+    a straight-line list of reads and writes (the runner appends the
+    [tryC]).  Key skew follows a Zipf distribution with parameter
+    [zipf_theta] ([0.0] = uniform), the standard way to dial contention:
+    high theta concentrates accesses on few hot variables.  [`Unique]
+    values draw every written value from a global counter, producing
+    histories that satisfy Theorem 11's unique-writes premise. *)
+
+type op = Read of int | Write of int * int
+
+type txn_prog = op list
+type thread_prog = txn_prog list
+
+type params = {
+  n_threads : int;
+  txns_per_thread : int;
+  ops_per_txn : int;
+  n_vars : int;
+  read_ratio : float;
+  zipf_theta : float;
+  values : [ `Unique | `Range of int ];
+}
+
+let default =
+  {
+    n_threads = 4;
+    txns_per_thread = 50;
+    ops_per_txn = 4;
+    n_vars = 16;
+    read_ratio = 0.7;
+    zipf_theta = 0.0;
+    values = `Range 100;
+  }
+
+let pp_params ppf p =
+  Fmt.pf ppf "%d thr × %d txn × %d ops, %d vars, %.0f%% reads, θ=%.1f"
+    p.n_threads p.txns_per_thread p.ops_per_txn p.n_vars
+    (100. *. p.read_ratio) p.zipf_theta
+
+(* Cumulative Zipf distribution over [0 .. n-1]; binary search to sample. *)
+let zipf_cdf n theta =
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf
+
+let sample_cdf cdf u =
+  let n = Array.length cdf in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then go (mid + 1) hi else go lo mid
+  in
+  go 0 (n - 1)
+
+let generate params rng =
+  let cdf = zipf_cdf (max 1 params.n_vars) params.zipf_theta in
+  let next_value = ref 0 in
+  let pick_var () = sample_cdf cdf (Random.State.float rng 1.0) in
+  let pick_value () =
+    match params.values with
+    | `Unique ->
+        incr next_value;
+        !next_value
+    | `Range r -> 1 + Random.State.int rng (max 1 r)
+  in
+  let op () =
+    if Random.State.float rng 1.0 < params.read_ratio then Read (pick_var ())
+    else Write (pick_var (), pick_value ())
+  in
+  let txn () = List.init (max 1 params.ops_per_txn) (fun _ -> op ()) in
+  let thread () = List.init params.txns_per_thread (fun _ -> txn ()) in
+  List.init params.n_threads (fun _ -> thread ())

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Event Gen History QCheck2 QCheck_alcotest Serialization Tm_safety Verdict

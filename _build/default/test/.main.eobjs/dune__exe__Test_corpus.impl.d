@@ -1,0 +1,1 @@
+test/test_corpus.ml: Du_opacity Final_state Helpers List Opacity Parse Serializable Serialization Tm_safety

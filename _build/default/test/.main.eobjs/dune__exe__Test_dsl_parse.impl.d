@@ -1,0 +1,1 @@
+test/test_dsl_parse.ml: Alcotest Dsl Figures Fmt Helpers History List Parse Pretty String Tm_safety

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Du_opacity Figures Final_state Fmt Helpers History List Opacity Rco Search Serialization String Tm_safety Tms2

@@ -1,0 +1,1 @@
+test/test_findings.ml: Alcotest Du_opacity Dump Figures Fmt Gen Helpers History Lemmas List Polygraph Serialization Tm_figures Tm_safety Tms2 Verdict

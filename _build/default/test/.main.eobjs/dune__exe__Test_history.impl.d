@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Dsl Event Figures Helpers History List Tm_safety Txn

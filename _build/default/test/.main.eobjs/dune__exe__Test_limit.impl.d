@@ -1,0 +1,1 @@
+test/test_limit.ml: Alcotest Dsl Event Figures Helpers History Limit List Sim Stm Tm_safety

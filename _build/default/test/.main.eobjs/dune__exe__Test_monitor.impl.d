@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Du_opacity Event Figures Fmt Helpers History List Monitor Tm_safety Verdict

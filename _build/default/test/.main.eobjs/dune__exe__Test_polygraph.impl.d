@@ -1,0 +1,1 @@
+test/test_polygraph.ml: Alcotest Dsl Figures Helpers List Opacity Polygraph Serialization String Tm_safety

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Dsl Du_opacity Figures Fmt Helpers History List Parse Search Serialization Tm_safety Verdict

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Completion Dsl Figures Helpers History Int List Semantics Serialization String Tm_safety

@@ -1,0 +1,1 @@
+test/test_shrink.ml: Alcotest Du_opacity Figures Fmt Helpers History List Opacity Shrink Sim Stm Tm_safety Verdict

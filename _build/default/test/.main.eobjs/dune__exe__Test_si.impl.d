@@ -1,0 +1,1 @@
+test/test_si.ml: Du_opacity Gen Helpers Parse QCheck2 Serializable Snapshot_isolation Tm_safety Verdict

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Du_opacity Fmt Helpers History List Opacity Polygraph Pretty Sim Stm Tm_safety Verdict

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Dot Dsl Du_opacity Figures Fmt Helpers History List Stats String Tm_safety Verdict

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "tm_safety"
+    (Test_event.suite
+    @ Test_history.suite
+    @ Test_dsl_parse.suite
+    @ Test_semantics.suite
+    @ Test_figures.suite
+    @ Test_corpus.suite
+    @ Test_search.suite
+    @ Test_polygraph.suite
+    @ Test_monitor.suite
+    @ Test_properties.suite
+    @ Test_stm.suite
+    @ Test_findings.suite
+    @ Test_limit.suite
+    @ Test_shrink.suite
+    @ Test_tools.suite
+    @ Test_si.suite)

@@ -1,0 +1,285 @@
+open Tm_safety
+open Helpers
+
+(* A corpus of classic (and paper-specific) anomalies, each with its verdict
+   under every criterion.  Histories are given in the textual format — which
+   also keeps the parser itself under test. *)
+
+type entry = {
+  name : string;
+  text : string;
+  du : bool;
+  opaque : bool;
+  fs : bool;
+  ser : bool;  (** serializability of committed transactions *)
+  strict : bool;  (** strict serializability of committed transactions *)
+}
+
+let corpus =
+  [
+    {
+      name = "empty";
+      text = "";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "serial-read-through";
+      text = "W1(X,1)->ok C1->C R2(X)->1 C2->C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "dirty-read-from-live";
+      (* T2 returns T1's value before T1 even invokes tryC; T1 never
+         commits in any completion that matters — illegal everywhere the
+         aborted reads count, but the committed projection is just T2's
+         write-free read... T2 commits having read a value nobody wrote:
+         even plain serializability fails. *)
+      text = "W1(X,1)->ok R2(X)->1 C2->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "read-from-commit-pending";
+      (* The fig2 core: reading from a transaction whose tryC is pending is
+         fine for (du-)opacity — some completion commits it.  Database-style
+         serializability, which only looks at the *committed* projection,
+         rejects: T2 committed a read nobody committed a write for. *)
+      text = "W1(X,1)->ok C1 R2(X)->1 C2->C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "read-from-aborted";
+      text = "W1(X,1)->ok C1->A R2(X)->1 C2->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "lost-update";
+      (* Both increments read 0 and write 1; no serial order explains both
+         reads. *)
+      text = "R1(X)->0 R2(X)->0 W1(X,1)->ok W2(X,2)->ok C1->C C2->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "write-skew";
+      text = "R1(X)->0 R2(Y)->0 W1(Y,1)->ok W2(X,1)->ok C1->C C2->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "snapshot-read-besides-writer";
+      (* Reader sees the old value while a writer is commit-pending: order
+         the reader first (or abort the writer). *)
+      text = "W1(X,1)->ok C1 R2(X)->0 C2->C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "zombie-consistent";
+      (* An aborted transaction whose reads are consistent: fine. *)
+      text = "W1(X,1)->ok W1(Y,1)->ok C1->C R2(X)->1 R2(Y)->1 A2->A";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "zombie-torn-snapshot";
+      (* The aborted T2 saw X new but Y old: committed transactions are
+         perfectly serializable, but opacity (and du-opacity) reject —
+         the paper's Section 1 motivation. *)
+      text = "W1(X,1)->ok W1(Y,1)->ok C1->C R2(X)->1 R2(Y)->0 A2->A";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "zombie-live-torn";
+      (* Same, but T2 never finishes: still rejected (completions abort
+         it, its reads still count). *)
+      text = "W1(X,1)->ok W1(Y,1)->ok C1->C R2(X)->1 R2(Y)->0";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "unrepeatable-read";
+      text = "R1(X)->0 W2(X,1)->ok C2->C R1(X)->1 C1->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "repeatable-read";
+      text = "R1(X)->0 W2(X,1)->ok C2 R1(X)->0 C1->C ret2:C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "real-time-inversion";
+      (* Committed T3 reads T1's value although T2 overwrote it strictly
+         between them: serializable (T1,T3,T2 ... wait, T2 before T3 in
+         real time).  Order T2,T1,T3 explains all reads but inverts the
+         real-time order of T1 and T2. *)
+      text = "W1(X,1)->ok C1->C W2(X,2)->ok C2->C R3(X)->1 C3->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = true;
+      strict = false;
+    };
+    {
+      name = "internal-read";
+      text = "W1(X,5)->ok R1(X)->5 C1->C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "internal-read-mismatch";
+      text = "W1(X,5)->ok R1(X)->4 C1->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "internal-read-shadows-global";
+      (* T2's own write shadows T1's committed value. *)
+      text = "W1(X,1)->ok C1->C W2(X,9)->ok R2(X)->9 C2->C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "aborted-op-read-unconstrained";
+      (* A read answered A_k constrains nothing. *)
+      text = "W1(X,1)->ok C1->C R2(X)->A";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "overwrite-then-read-old";
+      (* T3 reads 1 after T2 committed 2 — but T2 overlaps T3, so the order
+         T3 before T2 is available. *)
+      text = "W1(X,1)->ok C1->C W2(X,2)->ok C2 R3(X)->1 C3->C ret2:C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "write-visible-only-after-commit";
+      (* du accepts reads from tryC-invoked transactions only: T1 invoked
+         tryC before T2's read returned, so this is du-opaque even though
+         C1 arrives last. *)
+      text = "W1(X,1)->ok C1 R2(X)->1 C2->C ret1:C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = true;
+      strict = true;
+    };
+    {
+      name = "future-read";
+      (* T2 reads a value whose only writer starts after T2 finished:
+         real-time-respecting criteria all reject; plain serializability,
+         free to reorder, accepts T3,T2. *)
+      text = "R2(X)->1 C2->C W3(X,1)->ok C3->C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = true;
+      strict = false;
+    };
+    {
+      name = "concurrent-commit-pending-pair";
+      (* Two pending tryCs on the same variable: the completion commits T2
+         (T1 either way).  Committed-projection serializability again
+         rejects the read from the pending T2. *)
+      text = "W1(X,1)->ok W2(X,2)->ok C1 C2 R3(X)->2 C3->C";
+      du = true;
+      opaque = true;
+      fs = true;
+      ser = false;
+      strict = false;
+    };
+    {
+      name = "three-way-cycle";
+      (* R1 sees T3's write, R2 sees T1's, R3 sees T2's — a cycle no order
+         satisfies; everything overlaps so real time does not even help. *)
+      text =
+        "W1(X,1)->ok W2(Y,1)->ok W3(Z,1)->ok R1(Z)->1 R2(X)->1 R3(Y)->1 C1 C2 \
+         C3 ret1:C ret2:C ret3:C";
+      du = false;
+      opaque = false;
+      fs = false;
+      ser = false;
+      strict = false;
+    };
+  ]
+
+let check_entry e () =
+  let h = Parse.of_string_exn e.text in
+  let du = Du_opacity.check h in
+  check_verdict "du" e.du du;
+  check_certified ~claim:Serialization.Du_opaque "du cert" h du;
+  check_verdict "opacity" e.opaque (Opacity.check h);
+  let fs = Final_state.check h in
+  check_verdict "final-state" e.fs fs;
+  check_certified ~claim:Serialization.Final_state "fs cert" h fs;
+  check_verdict "serializable" e.ser (Serializable.check h);
+  check_verdict "strict serializable" e.strict (Serializable.check_strict h)
+
+let suite =
+  [
+    ( "corpus",
+      List.map (fun e -> test e.name (check_entry e)) corpus );
+  ]

@@ -1,0 +1,108 @@
+open Tm_safety
+open Helpers
+
+let test_dsl_fragments () =
+  let h = Dsl.(history [ r 1 x 0; w 1 y 5; c 1 ]) in
+  Alcotest.(check int) "events" 6 (History.length h);
+  Alcotest.(check (list int)) "committed" [ 1 ] (History.committed h);
+  let h = Dsl.(history [ w_inv 1 x 1; w_ok 1; c_inv 1; committed 1 ]) in
+  Alcotest.(check (list int)) "split ops commit" [ 1 ] (History.committed h);
+  let h = Dsl.(history [ r_inv 1 x; aborted 1 ]) in
+  Alcotest.(check (list int)) "aborted read" [ 1 ] (History.aborted h)
+
+let test_dsl_seq () =
+  let h =
+    Dsl.(seq [ (fun k -> [ w k x 1; c k ]); (fun k -> [ r k x 1; c k ]) ])
+  in
+  Alcotest.(check (list int)) "two txns" [ 1; 2 ] (History.txns h);
+  Alcotest.(check bool) "t-sequential" true (History.is_t_sequential h)
+
+let test_dsl_rejects () =
+  match Dsl.(history [ r_inv 1 x; r_inv 1 y ]) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let roundtrip name h =
+  test name (fun () ->
+      let text = Parse.to_text h in
+      match Parse.of_string text with
+      | Ok h' ->
+          Alcotest.(check (list event)) "roundtrip"
+            (History.to_list h) (History.to_list h')
+      | Error e -> Alcotest.failf "parse of %S failed: %s" text e)
+
+let parse_ok name text expected_len =
+  test name (fun () ->
+      match Parse.of_string text with
+      | Ok h -> Alcotest.(check int) "events" expected_len (History.length h)
+      | Error e -> Alcotest.failf "%s" e)
+
+let parse_err name text =
+  test name (fun () ->
+      match Parse.of_string text with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" text
+      | Error _ -> ())
+
+let parse_tests =
+  [
+    parse_ok "complete ops" "R1(X)->0 W1(Y,5)->ok C1->C" 6;
+    parse_ok "pending tryC" "W1(X,1)->ok C1" 3;
+    parse_ok "delayed response" "W1(X,1)->ok C1 R2(X)->1 ret1:C" 6;
+    parse_ok "tryA" "A1->A" 2;
+    parse_ok "aborted read" "R1(X)->A" 2;
+    parse_ok "aborted write" "W1(X,1)->A" 2;
+    parse_ok "negative value" "W1(X,-3)->ok R2(X)->-3" 4;
+    parse_ok "extended var names" "W1(X9,1)->ok R2(U)->0" 4;
+    parse_ok "comments and newlines" "R1(X)->0 # first read\nC1->C" 4;
+    parse_ok "empty input" "" 0;
+    parse_err "unknown token" "Q1(X)";
+    parse_err "bad response" "R1(X)->x";
+    parse_err "trailing garbage" "R1(X)->0zzz";
+    parse_err "ill-formed history" "R1(X)->0 ret1:ok";
+    parse_err "write needs value" "W1(X)->ok";
+    parse_err "double response" "R1(X)->0 ret1:0";
+  ]
+
+let test_var_name_aliases () =
+  (* Z and X2 are the same variable. *)
+  let h1 = Parse.of_string_exn "W1(Z,1)->ok C1->C" in
+  let h2 = Parse.of_string_exn "W1(X2,1)->ok C1->C" in
+  Alcotest.(check (list event)) "alias" (History.to_list h1) (History.to_list h2)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i =
+    i + n <= m && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_timeline () =
+  let t = Pretty.timeline Figures.fig3 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Fmt.str "timeline contains %s" needle)
+        true (contains t needle))
+    [ "T1:"; "T2:"; "W(X,1)"; ">ok"; "R(X)"; ">1"; "tryC"; ">C" ]
+
+let suite =
+  [
+    ( "dsl",
+      [
+        test "fragments" test_dsl_fragments;
+        test "seq" test_dsl_seq;
+        test "rejects ill-formed" test_dsl_rejects;
+      ] );
+    ( "parse",
+      parse_tests
+      @ [
+          test "variable name aliases" test_var_name_aliases;
+          roundtrip "roundtrip fig1" Figures.fig1;
+          roundtrip "roundtrip fig2" (Figures.fig2 ~readers:6);
+          roundtrip "roundtrip fig3" Figures.fig3;
+          roundtrip "roundtrip fig4" Figures.fig4;
+          roundtrip "roundtrip fig5" Figures.fig5;
+          roundtrip "roundtrip fig6" Figures.fig6;
+        ] );
+    ("pretty", [ test "timeline" test_timeline ]);
+  ]

@@ -1,0 +1,57 @@
+open Tm_safety
+open Helpers
+
+let test_matches () =
+  let open Event in
+  Alcotest.(check bool) "read/value" true (matches (Read 0) (Read_ok 3));
+  Alcotest.(check bool) "read/abort" true (matches (Read 0) Aborted);
+  Alcotest.(check bool) "read/ok" false (matches (Read 0) Write_ok);
+  Alcotest.(check bool) "read/commit" false (matches (Read 0) Committed);
+  Alcotest.(check bool) "write/ok" true (matches (Write (0, 1)) Write_ok);
+  Alcotest.(check bool) "write/value" false (matches (Write (0, 1)) (Read_ok 1));
+  Alcotest.(check bool) "write/abort" true (matches (Write (0, 1)) Aborted);
+  Alcotest.(check bool) "tryC/commit" true (matches Try_commit Committed);
+  Alcotest.(check bool) "tryC/abort" true (matches Try_commit Aborted);
+  Alcotest.(check bool) "tryC/ok" false (matches Try_commit Write_ok);
+  Alcotest.(check bool) "tryA/abort" true (matches Try_abort Aborted);
+  Alcotest.(check bool) "tryA/commit" false (matches Try_abort Committed)
+
+let test_tx_of () =
+  Alcotest.(check int) "inv" 3 (Event.tx_of (Event.Inv (3, Event.Try_commit)));
+  Alcotest.(check int) "res" 7 (Event.tx_of (Event.Res (7, Event.Aborted)))
+
+let test_tvar_names () =
+  let name x = Fmt.str "%a" Event.pp_tvar x in
+  Alcotest.(check string) "X" "X" (name 0);
+  Alcotest.(check string) "Y" "Y" (name 1);
+  Alcotest.(check string) "Z" "Z" (name 2);
+  Alcotest.(check string) "W" "W" (name 3);
+  Alcotest.(check string) "V" "V" (name 4);
+  Alcotest.(check string) "U" "U" (name 5);
+  Alcotest.(check string) "X6" "X6" (name 6);
+  Alcotest.(check string) "X42" "X42" (name 42)
+
+let test_pp () =
+  let s e = Event.to_string e in
+  Alcotest.(check string) "inv read" "inv1:R(X)" (s (Event.Inv (1, Event.Read 0)));
+  Alcotest.(check string) "inv write" "inv2:W(Y,5)"
+    (s (Event.Inv (2, Event.Write (1, 5))));
+  Alcotest.(check string) "res value" "res1:ret(5)"
+    (s (Event.Res (1, Event.Read_ok 5)));
+  Alcotest.(check string) "res commit" "res3:C" (s (Event.Res (3, Event.Committed)))
+
+let test_constants () =
+  Alcotest.(check int) "t0" 0 Event.t0;
+  Alcotest.(check int) "init" 0 Event.init_value
+
+let suite =
+  [
+    ( "event",
+      [
+        test "matches" test_matches;
+        test "tx_of" test_tx_of;
+        test "tvar names" test_tvar_names;
+        test "pretty-printing" test_pp;
+        test "constants" test_constants;
+      ] );
+  ]

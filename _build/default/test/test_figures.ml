@@ -1,0 +1,161 @@
+open Tm_safety
+open Helpers
+
+(* Machine-check every claim the paper makes about its example histories —
+   and certify every positive verdict with the independent validator. *)
+
+let check_expectation (e : Figures.expectation) () =
+  let du = Du_opacity.check e.history in
+  check_verdict (e.name ^ " du-opacity") e.du_opaque du;
+  check_certified ~claim:Serialization.Du_opaque (e.name ^ " du cert") e.history du;
+  let opq = Opacity.check e.history in
+  check_verdict (e.name ^ " opacity") e.opaque opq;
+  let fs = Final_state.check e.history in
+  check_verdict (e.name ^ " final-state") e.final_state fs;
+  check_certified ~claim:Serialization.Final_state (e.name ^ " fs cert")
+    e.history fs;
+  (match e.tms2 with
+  | Some expected -> check_verdict (e.name ^ " tms2") expected (Tms2.check e.history)
+  | None -> ());
+  match e.rco with
+  | Some expected -> check_verdict (e.name ^ " rco") expected (Rco.check e.history)
+  | None -> ()
+
+let catalog_tests =
+  List.map
+    (fun (e : Figures.expectation) -> test e.Figures.name (check_expectation e))
+    Figures.catalog
+
+(* Figure 1: the paper exhibits the serialization T2,T3,T1,T4; check that
+   this exact certificate validates, including its local serializations. *)
+let test_fig1_certificate () =
+  let s = Serialization.make ~order:[ 2; 3; 1; 4 ] ~committed:[ 1; 2; 3; 4 ] in
+  match Serialization.validate ~claim:Serialization.Du_opaque Figures.fig1 s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "paper's fig1 serialization rejected: %s" why
+
+(* The order is tight: T3,T2,T1,T4 breaks real time (T2 ≺RT T3), and
+   T2,T1,T3,T4 breaks legality (T4 would read T3's 1 instead of T1's 2). *)
+let test_fig1_order_is_tight () =
+  let reject order why_fragment =
+    let s = Serialization.make ~order ~committed:[ 1; 2; 3; 4 ] in
+    match Serialization.validate ~claim:Serialization.Du_opaque Figures.fig1 s with
+    | Ok () -> Alcotest.failf "expected rejection of %a" Fmt.(list ~sep:comma int) order
+    | Error why ->
+        let contains =
+          let n = String.length why_fragment and m = String.length why in
+          let rec go i =
+            i + n <= m && (String.sub why i n = why_fragment || go (i + 1))
+          in
+          go 0
+        in
+        if not contains then
+          Alcotest.failf "rejection %S does not mention %S" why why_fragment
+  in
+  reject [ 3; 2; 1; 4 ] "real-time";
+  reject [ 2; 1; 3; 4 ] "latest written value"
+
+(* Figure 2: every finite instance is du-opaque, and in *every* serialization
+   all zero-readers precede T1 — forcing T1's position to grow without
+   bound, the paper's Proposition 1 divergence argument. *)
+let test_fig2_prefix_family () =
+  List.iter
+    (fun readers ->
+      let h = Figures.fig2 ~readers in
+      let v = Du_opacity.check h in
+      check_sat (Fmt.str "fig2(%d)" readers) v;
+      check_certified ~claim:Serialization.Du_opaque "fig2 cert" h v;
+      (* Forcing T1 before any zero-reader is unsatisfiable. *)
+      for reader = 3 to readers do
+        let forced =
+          Search.serialize
+            { Search.du with extra_edges = [ (1, reader) ] }
+            h
+        in
+        check_unsat (Fmt.str "fig2(%d) with T1<T%d" readers reader) forced
+      done)
+    [ 3; 4; 5; 6; 8 ]
+
+let test_fig2_all_prefixes () =
+  let h = Figures.fig2 ~readers:6 in
+  for i = 0 to History.length h do
+    check_sat (Fmt.str "fig2 prefix %d" i) (Du_opacity.check (History.prefix h i))
+  done
+
+(* Figure 3: locate the exact prefix where final-state opacity is lost. *)
+let test_fig3_bad_prefix () =
+  match Opacity.first_bad_prefix Figures.fig3 with
+  | Some 4 -> ()
+  | Some i -> Alcotest.failf "expected first bad prefix 4, got %d" i
+  | None -> Alcotest.fail "expected a bad prefix"
+
+(* Figure 4, following the paper's proof of Proposition 2: every prefix is
+   final-state opaque (so H is opaque), yet H is not du-opaque. *)
+let test_fig4_prefixwise () =
+  let h = Figures.fig4 in
+  for i = 0 to History.length h do
+    check_sat (Fmt.str "fig4 prefix %d final-state" i)
+      (Final_state.check (History.prefix h i))
+  done;
+  check_unsat "fig4 du" (Du_opacity.check h);
+  (* The paper: the only final-state serialization order is T1,T3,T2. *)
+  let s = Serialization.make ~order:[ 1; 3; 2 ] ~committed:[ 3 ] in
+  (match Serialization.validate ~claim:Serialization.Final_state h s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "T1,T3,T2 rejected: %s" why);
+  match Serialization.validate ~claim:Serialization.Du_opaque h s with
+  | Ok () -> Alcotest.fail "fig4 should fail the du clause"
+  | Error _ -> ()
+
+(* Figure 5 is sequential: the GHS'08 restriction bites even without
+   concurrency. *)
+let test_fig5_sequential () =
+  Alcotest.(check bool) "sequential" true (History.is_sequential Figures.fig5);
+  (* The paper: T1,T3,T2 is the (du-)serialization. *)
+  let s = Serialization.make ~order:[ 1; 3; 2 ] ~committed:[ 1; 3 ] in
+  match Serialization.validate ~claim:Serialization.Du_opaque Figures.fig5 s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "T1,T3,T2 rejected: %s" why
+
+(* Figure 6: the du-serialization is T2,T1; TMS2's conflict-commit edge
+   (T1 before T2) is exactly what kills it. *)
+let test_fig6_edges () =
+  let edges = Tms2.edges Figures.fig6 in
+  Alcotest.(check bool) "edge (1,2) present" true (List.mem (1, 2) edges);
+  let s = Serialization.make ~order:[ 2; 1 ] ~committed:[ 1; 2 ] in
+  (match Serialization.validate ~claim:Serialization.Du_opaque Figures.fig6 s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "T2,T1 rejected: %s" why);
+  (* And T1,T2 is NOT a legal serialization. *)
+  let s' = Serialization.make ~order:[ 1; 2 ] ~committed:[ 1; 2 ] in
+  match Serialization.validate ~claim:Serialization.Final_state Figures.fig6 s' with
+  | Ok () -> Alcotest.fail "T1,T2 should be illegal"
+  | Error _ -> ()
+
+(* The checkers agree with the subset relations on the figures themselves:
+   du ⊆ opacity ⊆ final-state (Theorem 10 / Definition 5). *)
+let test_figure_inclusions () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      if e.du_opaque then
+        Alcotest.(check bool) (e.name ^ ": du => opaque") true e.opaque;
+      if e.opaque then
+        Alcotest.(check bool) (e.name ^ ": opaque => fs") true e.final_state)
+    Figures.catalog
+
+let suite =
+  [
+    ("figures: catalog", catalog_tests);
+    ( "figures: fine structure",
+      [
+        test "fig1 paper certificate" test_fig1_certificate;
+        test "fig1 order is tight" test_fig1_order_is_tight;
+        test "fig2 prefix family + forced order" test_fig2_prefix_family;
+        test "fig2 all prefixes du-opaque" test_fig2_all_prefixes;
+        test "fig3 first bad prefix" test_fig3_bad_prefix;
+        test "fig4 prefixwise final-state" test_fig4_prefixwise;
+        test "fig5 sequential + certificate" test_fig5_sequential;
+        test "fig6 TMS2 edge" test_fig6_edges;
+        test "catalog inclusions" test_figure_inclusions;
+      ] );
+  ]

@@ -1,0 +1,93 @@
+open Tm_safety
+open Helpers
+
+(* Figure 2's family: Proposition 1 seen through the Limit analyser. *)
+let fig2_family d = Figures.fig2 ~readers:d
+
+let test_fig2_family () =
+  let r = Limit.analyze ~family:fig2_family ~depths:[ 3; 4; 5; 6; 8 ] () in
+  Alcotest.(check bool) "all prefixes du-opaque" true r.Limit.all_du_opaque;
+  (* T1's tryC and hence T1 never completes: Theorem 5's restriction is
+     violated... *)
+  Alcotest.(check bool) "T1 never complete" true
+    (List.mem 1 r.Limit.never_complete);
+  (* ...and indeed the serialization chain never stabilises (every new
+     zero-reader squeezes in before T1 and T2). *)
+  Alcotest.(check bool) "chain drifts" false r.Limit.stabilised
+
+(* The same family, completed per Theorem 5's restriction: T1 commits, T2
+   t-completes, later readers read 1. *)
+let completed_family d =
+  let base = History.to_list (Figures.fig2 ~readers:6) in
+  let completion =
+    Event.
+      [
+        Res (1, Committed);
+        Inv (2, Try_commit);
+        Res (2, Committed);
+      ]
+  in
+  let late = List.concat (List.init d (fun i -> Dsl.r (7 + i) Dsl.x 1)) in
+  History.of_events_exn (base @ completion @ late)
+
+let test_completed_family () =
+  let r = Limit.analyze ~family:completed_family ~depths:[ 0; 2; 4; 8; 16 ] () in
+  Alcotest.(check bool) "all du-opaque" true r.Limit.all_du_opaque;
+  Alcotest.(check (list int)) "everything completes" [] r.Limit.never_complete;
+  Alcotest.(check bool) "chain stabilises (Theorem 5)" true r.Limit.stabilised
+
+(* A violating family member surfaces as not-du-opaque. *)
+let test_broken_member () =
+  let family d =
+    (* depth 0: fine; deeper: append a dirty read *)
+    let base = Dsl.(history [ w 1 x 1 ]) in
+    if d = 0 then base
+    else
+      History.of_events_exn
+        (History.to_list base @ List.concat Dsl.[ r 2 x 1; c 2 ])
+  in
+  let r = Limit.analyze ~family ~depths:[ 0; 1 ] () in
+  Alcotest.(check bool) "not all du-opaque" false r.Limit.all_du_opaque;
+  Alcotest.(check bool) "hence not stabilised" false r.Limit.stabilised
+
+let test_rejects_non_monotone () =
+  let family d = if d = 0 then Dsl.(history [ w 1 x 1 ]) else Dsl.(history [ r 1 x 0 ]) in
+  match Limit.analyze ~family ~depths:[ 0; 1 ] () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* An STM's own prefix family stabilises: recorded histories are complete
+   up to the final in-flight operations, and the chain of hinted
+   serializations extends monotonically. *)
+let test_stm_prefix_family () =
+  let h =
+    (Sim.Runner.run ~stm:"mvcc"
+       ~params:
+         {
+           Stm.Workload.default with
+           n_threads = 3;
+           txns_per_thread = 3;
+           ops_per_txn = 3;
+           n_vars = 3;
+         }
+       ~seed:5 ())
+      .Sim.Runner.history
+  in
+  let family d = History.prefix h d in
+  let n = History.length h in
+  let depths = [ n / 4; n / 2; 3 * n / 4; n ] in
+  let r = Limit.analyze ~family ~depths () in
+  Alcotest.(check bool) "all du-opaque" true r.Limit.all_du_opaque;
+  Alcotest.(check (list int)) "all complete at the end" [] r.Limit.never_complete
+
+let suite =
+  [
+    ( "limit analysis (Theorem 5 / Proposition 1)",
+      [
+        test "fig2 family drifts" test_fig2_family;
+        test "completed family stabilises" test_completed_family;
+        test "broken member detected" test_broken_member;
+        test "monotonicity enforced" test_rejects_non_monotone;
+        test "stm prefix family" test_stm_prefix_family;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+open Tm_safety
+open Helpers
+
+let feed events =
+  let m = Monitor.create () in
+  let outcome = Monitor.push_all m events in
+  (m, outcome)
+
+let test_ok_stream () =
+  let m, outcome = feed (History.to_list Figures.fig1) in
+  (match outcome with
+  | `Ok -> ()
+  | `Violation why -> Alcotest.failf "unexpected violation: %s" why
+  | `Budget why -> Alcotest.failf "unexpected budget: %s" why);
+  Alcotest.(check int) "events seen" (History.length Figures.fig1)
+    (Monitor.events_seen m);
+  Alcotest.(check bool) "has certificate" true
+    (Monitor.certificate m <> None);
+  Alcotest.(check (option int)) "no violation" None (Monitor.violation_index m)
+
+let test_violation_detected_at_first_bad_prefix () =
+  (* fig3: the prefix of length 4 (read_2(X) -> 1 from the non-committing
+     T1) is the first non-du-opaque prefix. *)
+  let events = History.to_list Figures.fig3 in
+  let m = Monitor.create () in
+  let outcomes = List.map (Monitor.push m) events in
+  let first_violation =
+    List.mapi (fun i o -> (i, o)) outcomes
+    |> List.find_map (fun (i, o) ->
+           match o with `Violation _ -> Some i | `Ok | `Budget _ -> None)
+  in
+  Alcotest.(check (option int)) "violation at event index 3 (prefix 4)"
+    (Some 3) first_violation;
+  Alcotest.(check (option int)) "violation index" (Some 4)
+    (Monitor.violation_index m)
+
+let test_sticky () =
+  let events = History.to_list Figures.fig3 in
+  let m = Monitor.create () in
+  let _ = Monitor.push_all m events in
+  (* Still violated, and pushing more keeps reporting it. *)
+  (match Monitor.push m (Event.Inv (9, Event.Read 0)) with
+  | `Violation _ -> ()
+  | `Ok | `Budget _ -> Alcotest.fail "violation must be sticky");
+  Alcotest.(check (option int)) "index unchanged" (Some 4)
+    (Monitor.violation_index m)
+
+let test_ill_formed_stream () =
+  let m = Monitor.create () in
+  match Monitor.push m (Event.Res (1, Event.Read_ok 0)) with
+  | `Violation _ -> ()
+  | `Ok | `Budget _ -> Alcotest.fail "ill-formed event must be a violation"
+
+let test_matches_offline () =
+  (* The monitor's final verdict must agree with the offline checker on
+     every prefix family we care about. *)
+  let agree name h =
+    let _, outcome = feed (History.to_list h) in
+    let offline = Verdict.is_sat (Du_opacity.check h) in
+    match outcome, offline with
+    | `Ok, true -> ()
+    | `Violation _, false -> ()
+    | `Ok, false -> Alcotest.failf "%s: monitor Ok, offline Unsat" name
+    | `Violation why, true ->
+        Alcotest.failf "%s: monitor violation (%s), offline Sat" name why
+    | `Budget why, _ -> Alcotest.failf "%s: budget: %s" name why
+  in
+  List.iter
+    (fun (e : Figures.expectation) -> agree e.Figures.name e.Figures.history)
+    Figures.catalog
+
+let test_budget () =
+  let m = Monitor.create ~max_nodes:1 () in
+  match Monitor.push_all m (History.to_list Figures.fig1) with
+  | `Budget _ -> ()
+  | `Ok -> Alcotest.fail "expected budget exhaustion"
+  | `Violation why -> Alcotest.failf "budget must not report violation: %s" why
+
+let test_incremental_efficiency () =
+  (* With certificate reuse, a long du-opaque stream should cost roughly a
+     constant number of nodes per response: each search succeeds straight
+     down the hinted order.  Generous bound to stay robust. *)
+  let h = Figures.fig2 ~readers:12 in
+  let m = Monitor.create () in
+  (match Monitor.push_all m (History.to_list h) with
+  | `Ok -> ()
+  | `Violation why -> Alcotest.failf "violation: %s" why
+  | `Budget why -> Alcotest.failf "budget: %s" why);
+  let searches = Monitor.searches_run m in
+  let nodes = Monitor.nodes_total m in
+  let txns = List.length (History.txns h) in
+  Alcotest.(check bool)
+    (Fmt.str "nodes per search bounded (%d nodes / %d searches, %d txns)"
+       nodes searches txns)
+    true
+    (nodes <= searches * (txns + 2))
+
+let suite =
+  [
+    ( "monitor",
+      [
+        test "accepts a du-opaque stream" test_ok_stream;
+        test "detects first bad prefix" test_violation_detected_at_first_bad_prefix;
+        test "violations are sticky" test_sticky;
+        test "rejects ill-formed events" test_ill_formed_stream;
+        test "agrees with offline checker" test_matches_offline;
+        test "budget surfaces as Budget" test_budget;
+        test "incremental efficiency" test_incremental_efficiency;
+      ] );
+  ]

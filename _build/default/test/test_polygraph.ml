@@ -1,0 +1,109 @@
+open Tm_safety
+open Helpers
+open Dsl
+
+let uw_history =
+  (* Unique writes: T1 and T3 write distinct values. *)
+  history [ w 1 x 1; c 1; r 2 x 1; w 3 x 2; c 3; r 2 y 0 ]
+
+let test_unique_writes_predicate () =
+  Alcotest.(check bool) "uw" true (Polygraph.unique_writes uw_history);
+  Alcotest.(check bool) "fig1 duplicates" false (Polygraph.unique_writes Figures.fig1);
+  Alcotest.(check bool) "fig4 duplicates" false (Polygraph.unique_writes Figures.fig4)
+
+let test_sat () =
+  match Polygraph.check uw_history with
+  | Polygraph.Sat s -> (
+      match Serialization.validate ~claim:Serialization.Du_opaque uw_history s with
+      | Ok () -> ()
+      | Error why -> Alcotest.failf "certificate rejected: %s" why)
+  | Polygraph.Unsat why -> Alcotest.failf "expected Sat, got Unsat: %s" why
+  | Polygraph.Not_unique why -> Alcotest.failf "unexpected Not_unique: %s" why
+
+let test_unsat_dirty () =
+  (* Read from a live transaction. *)
+  let h = history [ w_inv 1 x 1; w_ok 1; r 2 x 1; c 2 ] in
+  match Polygraph.check h with
+  | Polygraph.Unsat _ -> ()
+  | Polygraph.Sat _ -> Alcotest.fail "dirty read accepted"
+  | Polygraph.Not_unique why -> Alcotest.failf "unexpected Not_unique: %s" why
+
+let test_unsat_cycle () =
+  (* Unique-writes write-skew. *)
+  let h =
+    history
+      [ r_inv 1 x; ret 1 0; r_inv 2 y; ret 2 0; w 1 y 1; w 2 x 2; c_inv 1;
+        c_inv 2; committed 1; committed 2 ]
+  in
+  Alcotest.(check bool) "uw" true (Polygraph.unique_writes h);
+  match Polygraph.check h with
+  | Polygraph.Unsat _ -> ()
+  | Polygraph.Sat s -> Alcotest.failf "write skew accepted: %a" Serialization.pp s
+  | Polygraph.Not_unique why -> Alcotest.failf "unexpected Not_unique: %s" why
+
+let test_not_unique_reported () =
+  match Polygraph.check Figures.fig1 with
+  | Polygraph.Not_unique _ -> ()
+  | Polygraph.Sat _ | Polygraph.Unsat _ ->
+      Alcotest.fail "fig1 has duplicate writes; polygraph must decline"
+
+let test_fallback () =
+  (* check_or_fallback must agree with the general checker everywhere. *)
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let v = Polygraph.check_or_fallback e.history in
+      check_verdict (e.name ^ " fallback") e.du_opaque v)
+    Figures.catalog
+
+let test_initial_value_writer_ambiguity () =
+  (* Someone writes the initial value 0: the fixed-reads-from trick is off. *)
+  let h = history [ w 1 x 0; c 1; r 2 x 0; c 2 ] in
+  match Polygraph.check h with
+  | Polygraph.Not_unique _ -> ()
+  | Polygraph.Sat _ | Polygraph.Unsat _ ->
+      Alcotest.fail "ambiguous initial-value read must fall back"
+
+let test_forced_commit_of_pending () =
+  (* T1's tryC is pending; T2 reads its value: the polygraph must commit
+     T1 in the certificate. *)
+  let h = history [ w 1 x 1; c_inv 1; r 2 x 1; c 2 ] in
+  match Polygraph.check h with
+  | Polygraph.Sat s ->
+      Alcotest.(check bool) "T1 committed" true (Serialization.commits s 1)
+  | Polygraph.Unsat why -> Alcotest.failf "Unsat: %s" why
+  | Polygraph.Not_unique why -> Alcotest.failf "Not_unique: %s" why
+
+let test_du_precondition () =
+  (* Unique-writes version of fig4: reading from a future committer. *)
+  let h = history [ w 1 x 1; c_inv 1; r 2 x 2; w 3 x 2; c 3; aborted 1 ] in
+  Alcotest.(check bool) "uw" true (Polygraph.unique_writes h);
+  (match Polygraph.check h with
+  | Polygraph.Unsat why ->
+      let contains =
+        let needle = "tryC" in
+        let n = String.length needle and m = String.length why in
+        let rec go i = i + n <= m && (String.sub why i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions tryC" true contains
+  | Polygraph.Sat _ -> Alcotest.fail "du precondition missed"
+  | Polygraph.Not_unique why -> Alcotest.failf "Not_unique: %s" why);
+  (* And by Theorem 11, under unique writes the general opacity checker
+     agrees (the history is not opaque either). *)
+  check_unsat "opacity agrees" (Opacity.check h)
+
+let suite =
+  [
+    ( "polygraph (unique writes)",
+      [
+        test "unique_writes predicate" test_unique_writes_predicate;
+        test "sat + certificate" test_sat;
+        test "unsat: read from live" test_unsat_dirty;
+        test "unsat: write skew" test_unsat_cycle;
+        test "declines duplicates" test_not_unique_reported;
+        test "fallback agrees on figures" test_fallback;
+        test "initial-value writer ambiguity" test_initial_value_writer_ambiguity;
+        test "forces commit of pending writer" test_forced_commit_of_pending;
+        test "du precondition (Thm 11 shape)" test_du_precondition;
+      ] );
+  ]

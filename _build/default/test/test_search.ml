@@ -1,0 +1,121 @@
+open Tm_safety
+open Helpers
+
+let test_empty () =
+  check_sat "empty history" (Search.serialize Search.default History.empty)
+
+let test_budget_unknown () =
+  (* A hard instance with a 1-node budget must answer Unknown, never a
+     false negative. *)
+  let h = Figures.fig1 in
+  match Search.serialize { Search.du with max_nodes = Some 1 } h with
+  | Verdict.Unknown _ -> ()
+  | Verdict.Sat _ -> Alcotest.fail "cannot finish in one node"
+  | Verdict.Unsat _ -> Alcotest.fail "budget must not fabricate Unsat"
+
+let test_budget_generous () =
+  match Search.serialize { Search.du with max_nodes = Some 1_000_000 } Figures.fig1 with
+  | Verdict.Sat _ -> ()
+  | v -> Alcotest.failf "expected Sat, got %a" Verdict.pp v
+
+let test_hint_used () =
+  (* With a correct hint the search should take the minimum number of nodes:
+     one per placement plus the root. *)
+  let h = Figures.fig5 in
+  let _, no_hint = Search.search Search.du h in
+  let v, hinted =
+    Search.search { Search.du with hint = Some [ 1; 3; 2 ] } h
+  in
+  check_sat "hinted still sat" v;
+  Alcotest.(check bool)
+    (Fmt.str "hint helps or equal (%d <= %d)" hinted.Search.nodes
+       no_hint.Search.nodes)
+    true
+    (hinted.Search.nodes <= no_hint.Search.nodes);
+  Alcotest.(check int) "minimal descent" 4 hinted.Search.nodes
+
+let test_bad_hint_harmless () =
+  let v =
+    Search.serialize { Search.du with hint = Some [ 2; 1; 99 ] } Figures.fig5
+  in
+  check_sat "bad hint still finds" v
+
+let test_extra_edges_force_order () =
+  (* fig6: forcing T1 before T2 makes it unsatisfiable (that is the TMS2
+     argument). *)
+  check_unsat "forced edge"
+    (Search.serialize { Search.default with extra_edges = [ (1, 2) ] } Figures.fig6);
+  check_sat "other direction fine"
+    (Search.serialize { Search.default with extra_edges = [ (2, 1) ] } Figures.fig6)
+
+let test_extra_edges_unknown_tx () =
+  match
+    Search.serialize { Search.default with extra_edges = [ (1, 99) ] } Figures.fig6
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_respect_rt_off () =
+  (* future-read from the corpus: Unsat with real time, Sat without. *)
+  let h = Parse.of_string_exn "R2(X)->1 C2->C W3(X,1)->ok C3->C" in
+  check_unsat "with rt" (Search.serialize Search.default h);
+  check_sat "without rt"
+    (Search.serialize { Search.default with respect_rt = false } h)
+
+let test_prefilter_stats () =
+  (* fig3' dies in the prefilter: no search nodes. *)
+  let v, stats = Search.search Search.du Figures.fig3_prefix in
+  check_unsat "fig3'" v;
+  Alcotest.(check bool) "prefiltered" true stats.Search.prefiltered;
+  Alcotest.(check int) "no nodes" 0 stats.Search.nodes
+
+let test_du_stricter_than_plain () =
+  (* Plain mode accepts fig4; Du rejects. Same engine, same input. *)
+  check_sat "plain" (Search.serialize Search.default Figures.fig4);
+  check_unsat "du" (Search.serialize Search.du Figures.fig4)
+
+(* The engine must explore commit AND abort decisions for pending tryC:
+   here serialization requires aborting T1 (its write would break T2's
+   read) even though committing is the first choice tried. *)
+let test_decision_backtracking () =
+  let h =
+    Dsl.(
+      history
+        [ w 1 x 1; c_inv 1; r 2 x 0; w 2 x 2; c 2 ])
+  in
+  match Du_opacity.check h with
+  | Verdict.Sat s ->
+      Alcotest.(check bool) "T1 aborted in certificate" false
+        (Serialization.commits s 1)
+  | v -> Alcotest.failf "expected Sat, got %a" Verdict.pp v
+
+(* Memoisation must not change verdicts: compare exhaustive small searches
+   with an engine run that cannot benefit from memo (hint irrelevant).
+   We use the corpus: every verdict equals a fresh run. *)
+let test_determinism () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let v1 = Search.serialize Search.du e.history in
+      let v2 = Search.serialize Search.du e.history in
+      Alcotest.(check bool) (e.name ^ " deterministic") true
+        (Verdict.is_sat v1 = Verdict.is_sat v2))
+    Figures.catalog
+
+let suite =
+  [
+    ( "search engine",
+      [
+        test "empty history" test_empty;
+        test "budget yields Unknown" test_budget_unknown;
+        test "budget large enough" test_budget_generous;
+        test "hint shortens the search" test_hint_used;
+        test "bad hint harmless" test_bad_hint_harmless;
+        test "extra edges force order" test_extra_edges_force_order;
+        test "extra edges validate tx ids" test_extra_edges_unknown_tx;
+        test "respect_rt:false" test_respect_rt_off;
+        test "prefilter short-circuits" test_prefilter_stats;
+        test "du stricter than plain" test_du_stricter_than_plain;
+        test "decision backtracking" test_decision_backtracking;
+        test "determinism" test_determinism;
+      ] );
+  ]

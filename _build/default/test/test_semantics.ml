@@ -1,0 +1,211 @@
+open Tm_safety
+open Helpers
+open Dsl
+
+let ok = function
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "expected legal, got: %s" why
+
+let illegal = function
+  | Ok () -> Alcotest.fail "expected illegal"
+  | Error _ -> ()
+
+let test_legal_basics () =
+  ok (Semantics.legal (history [ r 1 x 0; c 1 ]));
+  ok (Semantics.legal (seq [ (fun k -> [ w k x 1; c k ]); (fun k -> [ r k x 1; c k ]) ]));
+  illegal
+    (Semantics.legal
+       (seq [ (fun k -> [ w k x 1; c k ]); (fun k -> [ r k x 0; c k ]) ]));
+  (* Aborted writer: its value must not be visible. *)
+  ok
+    (Semantics.legal
+       (seq [ (fun k -> [ w k x 1; c_abort k ]); (fun k -> [ r k x 0; c k ]) ]));
+  illegal
+    (Semantics.legal
+       (seq [ (fun k -> [ w k x 1; c_abort k ]); (fun k -> [ r k x 1; c k ]) ]))
+
+let test_legal_own_writes () =
+  (* Internal read sees own (uncommitted) write. *)
+  ok (Semantics.legal (history [ w 1 x 7; r 1 x 7; a 1 ]));
+  illegal (Semantics.legal (history [ w 1 x 7; r 1 x 3; a 1 ]));
+  (* Latest own write wins. *)
+  ok (Semantics.legal (history [ w 1 x 7; w 1 x 8; r 1 x 8; c 1 ]));
+  (* An aborted-response write never took effect, even for later reads...
+     (cannot be expressed: A_k ends the transaction) — but an aborted
+     transaction's reads are still constrained: *)
+  illegal
+    (Semantics.legal
+       (seq [ (fun k -> [ w k x 1; c k ]); (fun k -> [ r k x 9; a k ]) ]))
+
+let test_legal_aborted_reads_skipped () =
+  (* A read returning A_k is unconstrained. *)
+  ok (Semantics.legal (history [ r_abort 1 x ]));
+  ok
+    (Semantics.legal
+       (seq [ (fun k -> [ w k x 1; c k ]); (fun k -> [ r_abort k x ]) ]))
+
+let test_legal_rejects_concurrent () =
+  illegal (Semantics.legal Figures.fig1)
+
+let test_final_state () =
+  let h =
+    seq
+      [
+        (fun k -> [ w k x 1; w k y 2; c k ]);
+        (fun k -> [ w k x 3; c k ]);
+        (fun k -> [ w k y 9; c_abort k ]);
+      ]
+  in
+  let state = Array.make 3 0 in
+  Semantics.final_state h state;
+  Alcotest.(check (list int)) "state" [ 3; 2; 0 ] (Array.to_list state)
+
+(* --- Completions (Definition 2) --- *)
+
+let test_completion_canonical () =
+  let h = history [ w 1 x 1; c_inv 1; r_inv 2 x ] in
+  let commit = Completion.canonical ~decide:(fun _ -> true) h in
+  Alcotest.(check bool) "t-complete" true (History.is_t_complete commit);
+  Alcotest.(check (list int)) "T1 committed" [ 1 ] (History.committed commit);
+  Alcotest.(check (list int)) "T2 aborted" [ 2 ] (History.aborted commit);
+  let abort = Completion.canonical ~decide:(fun _ -> false) h in
+  Alcotest.(check (list int)) "both aborted" [ 1; 2 ] (History.aborted abort);
+  Alcotest.(check bool) "is completion (commit)" true
+    (Completion.is_completion commit ~of_:h);
+  Alcotest.(check bool) "is completion (abort)" true
+    (Completion.is_completion abort ~of_:h)
+
+let test_completion_complete_but_not_t_complete () =
+  (* T1 finished its read but never invoked tryC: Definition 2 appends
+     tryC·A. *)
+  let h = history [ r 1 x 0 ] in
+  let c = Completion.canonical ~decide:(fun _ -> true) h in
+  Alcotest.(check int) "events" 4 (History.length c);
+  Alcotest.(check (list int)) "aborted" [ 1 ] (History.aborted c);
+  Alcotest.(check bool) "is completion" true (Completion.is_completion c ~of_:h)
+
+let test_completion_enumerate () =
+  let h = history [ w 1 x 1; c_inv 1; w 2 y 1; c_inv 2; r 3 x 0 ] in
+  let all = Completion.enumerate h in
+  Alcotest.(check int) "2 pending => 4 completions" 4 (List.length all);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "each is a completion" true
+        (Completion.is_completion c ~of_:h))
+    all;
+  let commit_sets =
+    List.map (fun c -> List.sort Int.compare (History.committed c)) all
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list (list int))) "decision vectors"
+    [ []; [ 1 ]; [ 1; 2 ]; [ 2 ] ]
+    commit_sets
+
+let test_not_completion () =
+  let h = history [ w 1 x 1; c_inv 1 ] in
+  (* Extra transaction. *)
+  let c1 = history [ w 1 x 1; c 1; r 2 x 1; c 2 ] in
+  Alcotest.(check bool) "extra txn" false (Completion.is_completion c1 ~of_:h);
+  (* Not t-complete. *)
+  Alcotest.(check bool) "not t-complete" false (Completion.is_completion h ~of_:h);
+  (* Changed operation. *)
+  let c2 = history [ w 1 x 2; c 1 ] in
+  Alcotest.(check bool) "changed op" false (Completion.is_completion c2 ~of_:h)
+
+(* --- Serialization certificates --- *)
+
+let test_to_history () =
+  let h = history [ w_inv 1 x 1; w_ok 1; c_inv 1; r 2 x 1 ] in
+  let s = Serialization.make ~order:[ 1; 2 ] ~committed:[ 1 ] in
+  let sh = Serialization.to_history h s in
+  Alcotest.(check bool) "t-sequential" true (History.is_t_sequential sh);
+  Alcotest.(check bool) "t-complete" true (History.is_t_complete sh);
+  Alcotest.(check (list int)) "order" [ 1; 2 ] (History.txns sh);
+  Alcotest.(check (list int)) "committed" [ 1 ] (History.committed sh);
+  Alcotest.(check bool) "equivalent to a completion" true
+    (Completion.is_completion sh ~of_:h);
+  ok (Semantics.legal sh)
+
+let validate_err ?claim h s fragment =
+  match Serialization.validate ?claim h s with
+  | Ok () -> Alcotest.failf "expected validation failure (%s)" fragment
+  | Error why ->
+      let contains =
+        let n = String.length fragment and m = String.length why in
+        let rec go i =
+          i + n <= m && (String.sub why i n = fragment || go (i + 1))
+        in
+        go 0
+      in
+      if not contains then
+        Alcotest.failf "error %S does not mention %S" why fragment
+
+let test_validate_clauses () =
+  let h = history [ w 1 x 1; c 1; r 2 x 1; c 2 ] in
+  (* Correct certificate. *)
+  (match
+     Serialization.validate h (Serialization.make ~order:[ 1; 2 ] ~committed:[ 1; 2 ])
+   with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "valid certificate rejected: %s" why);
+  (* Not a permutation. *)
+  validate_err h (Serialization.make ~order:[ 1 ] ~committed:[ 1 ]) "permutation";
+  validate_err h
+    (Serialization.make ~order:[ 1; 2; 3 ] ~committed:[ 1 ])
+    "permutation";
+  (* Decision contradicts the history. *)
+  validate_err h
+    (Serialization.make ~order:[ 1; 2 ] ~committed:[ 1 ])
+    "completion";
+  (* Real time: T1 ≺RT T2 here. *)
+  validate_err h
+    (Serialization.make ~order:[ 2; 1 ] ~committed:[ 1; 2 ])
+    "real-time";
+  (* Legality. *)
+  let h2 = history [ w 1 x 1; c 1; r 2 x 0; c 2 ] in
+  validate_err h2
+    (Serialization.make ~order:[ 1; 2 ] ~committed:[ 1; 2 ])
+    "latest written value"
+
+let test_validate_du_clause () =
+  (* fig4's only final-state serialization fails the du clause. *)
+  let s = Serialization.make ~order:[ 1; 3; 2 ] ~committed:[ 3 ] in
+  (match Serialization.validate ~claim:Serialization.Final_state Figures.fig4 s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "fig4 final-state certificate rejected: %s" why);
+  validate_err ~claim:Serialization.Du_opaque Figures.fig4 s "local serialization"
+
+let test_validate_no_rt () =
+  let h = history [ w 1 x 1; c 1; r 2 x 0; w 2 y 1; c 2 ] in
+  (* Serializable (T2 before T1) but not in real-time order. *)
+  let s = Serialization.make ~order:[ 2; 1 ] ~committed:[ 1; 2 ] in
+  validate_err h s "real-time";
+  match Serialization.validate ~respect_rt:false ~claim:Serialization.Final_state h s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "rt-free validation failed: %s" why
+
+let suite =
+  [
+    ( "semantics",
+      [
+        test "legality basics" test_legal_basics;
+        test "own writes" test_legal_own_writes;
+        test "aborted reads unconstrained" test_legal_aborted_reads_skipped;
+        test "rejects non-t-sequential" test_legal_rejects_concurrent;
+        test "final state fold" test_final_state;
+      ] );
+    ( "completion",
+      [
+        test "canonical" test_completion_canonical;
+        test "complete-but-not-t-complete" test_completion_complete_but_not_t_complete;
+        test "enumerate" test_completion_enumerate;
+        test "negatives" test_not_completion;
+      ] );
+    ( "serialization",
+      [
+        test "to_history" test_to_history;
+        test "validator clauses" test_validate_clauses;
+        test "du clause (fig4)" test_validate_du_clause;
+        test "respect_rt:false" test_validate_no_rt;
+      ] );
+  ]

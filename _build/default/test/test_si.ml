@@ -1,0 +1,84 @@
+open Tm_safety
+open Helpers
+
+let si h = Snapshot_isolation.check h
+
+let of_text = Parse.of_string_exn
+
+let test_classics () =
+  (* Write skew: the SI anomaly par excellence — SI yes, serializable no. *)
+  let write_skew =
+    of_text "R1(X)->0 R2(Y)->0 W1(Y,1)->ok W2(X,1)->ok C1->C C2->C"
+  in
+  check_sat "write skew is SI" (si write_skew);
+  check_unsat "write skew not serializable" (Serializable.check write_skew);
+  (* Lost update: both read 0 and write the same variable — the
+     first-committer-wins rule rejects. *)
+  let lost_update =
+    of_text "R1(X)->0 R2(X)->0 W1(X,1)->ok W2(X,2)->ok C1->C C2->C"
+  in
+  check_unsat "lost update not SI" (si lost_update);
+  (* Unrepeatable read: two reads of one variable cannot come from one
+     snapshot. *)
+  let unrepeatable = of_text "R1(X)->0 W2(X,1)->ok C2->C R1(X)->1 C1->C" in
+  check_unsat "unrepeatable read not SI" (si unrepeatable);
+  (* Serial execution: SI trivially. *)
+  check_sat "serial read-through"
+    (si (of_text "W1(X,1)->ok C1->C R2(X)->1 C2->C"));
+  (* Torn snapshot in an ABORTED transaction: invisible to SI (committed
+     projection), caught by du-opacity — the §1 gap again. *)
+  let torn =
+    of_text "W1(X,1)->ok W1(Y,1)->ok C1->C R2(X)->1 R2(Y)->0 A2->A"
+  in
+  check_sat "aborted torn snapshot invisible to SI" (si torn);
+  check_unsat "but not du-opaque" (Du_opacity.check torn)
+
+let test_read_old_snapshot () =
+  (* A transaction may read an arbitrarily old snapshot: T3 reads X=0
+     although T1 committed X=1 before T3 even began. Plain SI has no
+     real-time clause, so this passes. *)
+  let h = of_text "W1(X,1)->ok C1->C R3(X)->0 C3->C" in
+  check_sat "old snapshot ok under SI" (si h);
+  check_unsat "strict serializability refuses" (Serializable.check_strict h)
+
+let test_ww_disjointness_via_snapshot () =
+  (* Two writers of X where the second READ X from the first: intervals
+     are disjoint, fine. *)
+  let h = of_text "R1(X)->0 W1(X,1)->ok C1->C R2(X)->1 W2(X,2)->ok C2->C" in
+  check_sat "chained updates" (si h)
+
+let prop_ser_implies_si =
+  qtest ~count:200 "serializable => SI"
+    (QCheck2.Gen.bind QCheck2.Gen.bool (fun snapshot ->
+         arb_history
+           ~params:
+             (if snapshot then
+                { Gen.default with n_txns = 6; n_threads = 3; max_ops = 3 }
+              else
+                {
+                  Gen.default with
+                  n_txns = 6;
+                  n_threads = 3;
+                  max_ops = 3;
+                  mode = `Random_values;
+                  value_range = 2;
+                })
+           ()))
+    (fun h ->
+      let v = Serializable.check ~max_nodes:300_000 h in
+      match v, si h with
+      | Verdict.Sat _, Verdict.Sat _ -> true
+      | Verdict.Sat _, Verdict.Unsat _ -> false
+      | Verdict.Unsat _, _ -> true
+      | Verdict.Unknown _, _ | _, Verdict.Unknown _ -> QCheck2.assume_fail ())
+
+let suite =
+  [
+    ( "snapshot isolation",
+      [
+        test "classic anomalies" test_classics;
+        test "old snapshots allowed" test_read_old_snapshot;
+        test "chained writers" test_ww_disjointness_via_snapshot;
+        prop_ser_implies_si;
+      ] );
+  ]

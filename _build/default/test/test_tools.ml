@@ -1,0 +1,80 @@
+open Tm_safety
+open Helpers
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i =
+    i + n <= m && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_stats_fig1 () =
+  let s = Stats.of_history Figures.fig1 in
+  Alcotest.(check int) "events" 18 s.Stats.events;
+  Alcotest.(check int) "txns" 4 s.Stats.txns;
+  Alcotest.(check int) "committed" 4 s.Stats.committed;
+  Alcotest.(check int) "reads" 2 s.Stats.reads;
+  Alcotest.(check int) "writes" 3 s.Stats.writes;
+  Alcotest.(check int) "vars" 1 s.Stats.vars;
+  Alcotest.(check bool) "overlap >= 2" true (s.Stats.max_overlap >= 2)
+
+let test_stats_empty () =
+  let s = Stats.of_history History.empty in
+  Alcotest.(check int) "events" 0 s.Stats.events;
+  Alcotest.(check int) "txns" 0 s.Stats.txns;
+  Alcotest.(check int) "overlap" 0 s.Stats.max_overlap
+
+let test_stats_statuses () =
+  let h =
+    Dsl.(
+      history
+        [ w 1 x 1; c 1; w 2 x 2; c_abort 2; w 3 x 3; c_inv 3; r_inv 4 x ])
+  in
+  let s = Stats.of_history h in
+  Alcotest.(check int) "committed" 1 s.Stats.committed;
+  Alcotest.(check int) "aborted" 1 s.Stats.aborted;
+  Alcotest.(check int) "commit-pending" 1 s.Stats.commit_pending;
+  Alcotest.(check int) "live" 1 s.Stats.live
+
+let test_stats_sequential_overlap () =
+  let h = Dsl.(seq [ (fun k -> [ w k x 1; c k ]); (fun k -> [ r k x 1; c k ]) ]) in
+  let s = Stats.of_history h in
+  Alcotest.(check int) "no overlap" 1 s.Stats.max_overlap;
+  Alcotest.(check int) "no overlapping pairs" 0 s.Stats.overlapping_pairs
+
+let test_dot_structure () =
+  let dot = Dot.of_history Figures.fig4 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Fmt.str "dot contains %s" needle) true
+        (contains dot needle))
+    [
+      "digraph history";
+      "t1 [";
+      "t2 [";
+      "t3 [";
+      "aborted";
+      "committed";
+      (* R2(X) returns before T3's commit point: a conflict edge *)
+      "t2 -> t3";
+    ]
+
+let test_dot_with_serialization () =
+  match Du_opacity.check Figures.fig1 with
+  | Verdict.Sat s ->
+      let dot = Dot.of_history ~serialization:s Figures.fig1 in
+      Alcotest.(check bool) "positions rendered" true (contains dot "S[0]")
+  | v -> Alcotest.failf "fig1: %a" Verdict.pp v
+
+let suite =
+  [
+    ( "stats & dot",
+      [
+        test "stats on fig1" test_stats_fig1;
+        test "stats on empty" test_stats_empty;
+        test "status counts" test_stats_statuses;
+        test "sequential overlap" test_stats_sequential_overlap;
+        test "dot structure" test_dot_structure;
+        test "dot with serialization" test_dot_with_serialization;
+      ] );
+  ]
