@@ -271,6 +271,124 @@ let run_cmd =
       const run $ stm $ threads $ txns $ ops $ vars $ seed $ zipf $ check
       $ timeline_arg)
 
+(* --- tm chaos ------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let stm =
+    let names = List.map fst Stm.Registry.algorithms in
+    let stm_conv = Arg.enum (List.map (fun n -> (n, n)) names) in
+    Arg.(value & opt stm_conv "tl2" & info [ "stm" ] ~doc:"STM algorithm.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~doc:"Number of seeded campaigns (seeds 1..N).")
+  in
+  let faults_arg =
+    let kind_conv =
+      Arg.enum
+        (List.map
+           (fun k -> (Stm.Faults.kind_to_string k, k))
+           Stm.Faults.all_kinds)
+    in
+    let doc =
+      "Fault kinds the sampled plans may contain: $(docv) ⊆ \
+       crash,stall,abort,omission."
+    in
+    Arg.(
+      value
+      & opt (list kind_conv) [ `Crash; `Stall; `Spurious ]
+      & info [ "faults" ] ~docv:"KINDS" ~doc)
+  in
+  let threads = Arg.(value & opt int 3 & info [ "threads" ] ~doc:"Threads.") in
+  let txns =
+    Arg.(value & opt int 5 & info [ "txns" ] ~doc:"Transactions per thread.")
+  in
+  let ops =
+    Arg.(value & opt int 3 & info [ "ops" ] ~doc:"Operations per transaction.")
+  in
+  let vars = Arg.(value & opt int 4 & info [ "vars" ] ~doc:"Variables.") in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Stream every produced history through the du-opacity monitor \
+             (verdict covers the history and all of its prefixes).")
+  in
+  let timelines =
+    Arg.(
+      value & flag
+      & info [ "timelines" ] ~doc:"Print each produced history as a timeline.")
+  in
+  let run stm seeds kinds threads txns ops vars check timelines max_nodes =
+    let params =
+      {
+        Stm.Workload.default with
+        n_threads = threads;
+        txns_per_thread = txns;
+        ops_per_txn = ops;
+        n_vars = vars;
+      }
+    in
+    let max_nodes = Option.value max_nodes ~default:2_000_000 in
+    let reports =
+      Sim.Faults.campaign ~max_nodes ~check ~kinds ~stm ~params
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ()
+    in
+    Fmt.pr "# chaos: %s, %a, faults=%s@." stm Stm.Workload.pp_params params
+      (String.concat "," (List.map Stm.Faults.kind_to_string kinds));
+    Fmt.pr "%4s  %-28s %6s %5s %8s %5s  %s@." "seed" "plan" "events" "txns"
+      "pending" "fate" "verdict";
+    let ok = ref 0 and violations = ref 0 and budgets = ref 0 in
+    let with_pending = ref 0 and incomplete = ref 0 in
+    List.iter
+      (fun (r : Sim.Faults.report) ->
+        if r.Sim.Faults.commit_pending > 0 then incr with_pending;
+        if r.Sim.Faults.incomplete > 0 then incr incomplete;
+        let verdict =
+          match r.Sim.Faults.outcome with
+          | None -> "-"
+          | Some `Ok ->
+              incr ok;
+              "ok"
+          | Some (`Violation why) ->
+              incr violations;
+              Fmt.str "VIOLATION (%s)" why
+          | Some (`Budget why) ->
+              incr budgets;
+              Fmt.str "unknown (%s)" why
+        in
+        let s = r.Sim.Faults.stats in
+        Fmt.pr "%4d  %-28s %6d %5d %8d %5s  %s@." r.Sim.Faults.seed
+          (Fmt.str "%a" Stm.Faults.pp_spec r.Sim.Faults.spec)
+          (History.length r.Sim.Faults.history)
+          (List.length (History.txns r.Sim.Faults.history))
+          r.Sim.Faults.commit_pending
+          (Fmt.str "%dc%dx" s.Stm.Harness.crashes s.Stm.Harness.stalls)
+          verdict;
+        if timelines then
+          Fmt.pr "%s@." (Pretty.timeline r.Sim.Faults.history))
+      reports;
+    Fmt.pr
+      "# %d runs: %d incomplete histories, %d with a pending tryCommit@."
+      (List.length reports) !incomplete !with_pending;
+    if check then
+      Fmt.pr "# verdicts: %d ok, %d violations, %d budget-exhausted@." !ok
+        !violations !budgets;
+    if !violations > 0 then 1 else if !budgets > 0 then 2 else 0
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run an STM under a deterministic fault campaign (crashed threads, \
+          stalled commits, spurious aborts, truncated traces) and check the \
+          incomplete histories it produces")
+    Term.(
+      const run $ stm $ seeds $ faults_arg $ threads $ txns $ ops $ vars
+      $ check $ timelines $ max_nodes_arg)
+
 (* --- tm monitor --------------------------------------------------------- *)
 
 let monitor_cmd =
@@ -324,4 +442,7 @@ let () =
     Cmd.info "tm" ~version:"1.0.0"
       ~doc:"Transactional-memory history checkers (du-opacity and friends)"
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; gen_cmd; run_cmd; monitor_cmd; figures_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; gen_cmd; run_cmd; chaos_cmd; monitor_cmd; figures_cmd ]))

@@ -19,26 +19,29 @@ let canonical ~decide h =
   in
   History.of_events_exn (History.to_list h @ suffix)
 
+let count h =
+  let p = List.length (History.commit_pending h) in
+  if p >= Sys.int_size - 2 then max_int else 1 lsl p
+
 let enumerate ?(limit = 1024) h =
   let pending = History.commit_pending h in
-  let rec vectors = function
-    | [] -> [ fun _ -> false ]
-    | k :: rest ->
-        let tails = vectors rest in
-        List.concat_map
-          (fun tail ->
-            [
-              (fun k' -> k' = k || tail k');
-              (fun k' -> k' <> k && tail k');
-            ])
-          tails
-  in
-  let all = vectors pending in
-  let all =
-    if List.length all > limit then List.filteri (fun i _ -> i < limit) all
-    else all
-  in
-  List.map (fun decide -> canonical ~decide h) all
+  (* 2^p decision vectors; enumerate them as bit masks so the limit bounds
+     the work done, not just the work kept — a crash/stall fault campaign
+     can leave dozens of transactions commit-pending, and materialising
+     2^p closures before truncating would hang long before the cap.
+     Mask bit [i] clear = commit [pending.(i)], so mask 0 is the all-commit
+     completion and the enumeration order matches the historical one. *)
+  let n = min (count h) (max 0 limit) in
+  List.init n (fun mask ->
+      let decide k =
+        let rec bit i = function
+          | [] -> false
+          | k' :: rest ->
+              if k' = k then (mask lsr i) land 1 = 0 else bit (i + 1) rest
+        in
+        bit 0 pending
+      in
+      canonical ~decide h)
 
 let is_completion candidate ~of_:h =
   History.is_t_complete candidate

@@ -17,9 +17,16 @@ val canonical : decide:(Event.tx -> bool) -> History.t -> History.t
     [decide] selects (the decision is ignored for transactions whose fate is
     already sealed). *)
 
+val count : History.t -> int
+(** Number of completions, [2^p] for [p] pending-[tryC] transactions
+    (saturating at [max_int]). *)
+
 val enumerate : ?limit:int -> History.t -> History.t list
 (** All completions, one per decision vector over the pending-[tryC]
-    transactions ([2^p]; capped at [limit], default 1024). *)
+    transactions ([2^p]; capped at [limit], default 1024).  The cap bounds
+    the work performed, not just the result length, so enumerating a
+    history with a large pending set is safe; compare the result length
+    with {!count} to detect truncation. *)
 
 val is_completion : History.t -> of_:History.t -> bool
 (** Is the first history a completion of [of_] (with canonical or any other

@@ -12,6 +12,10 @@ type t = {
   mutable events_seen : int;
   mutable searches_run : int;
   mutable nodes_total : int;
+  seen : (Event.tx, unit) Hashtbl.t;
+      (* transactions already in the running certificate's order — O(1)
+         membership where scanning the order would make a long stream of
+         permanently-pending transactions quadratic *)
 }
 
 let create ?max_nodes () =
@@ -23,6 +27,7 @@ let create ?max_nodes () =
     events_seen = 0;
     searches_run = 0;
     nodes_total = 0;
+    seen = Hashtbl.create 64;
   }
 
 let outcome_of_state = function
@@ -48,11 +53,17 @@ let push m ev =
           match ev with
           | Event.Inv (k, _) ->
               (* Extending by an invocation preserves du-opacity and its
-                 certificate (see .mli); only register the new transaction. *)
+                 certificate (see .mli); only register the new transaction.
+                 A transaction that never responds again — a crashed thread,
+                 a stalled tryC — simply stays registered here forever: it
+                 constrains nothing until a response event triggers the next
+                 search, where the engine aborts it in a completion. *)
               let order =
-                if List.mem k cert.Serialization.order then
-                  cert.Serialization.order
-                else cert.Serialization.order @ [ k ]
+                if Hashtbl.mem m.seen k then cert.Serialization.order
+                else begin
+                  Hashtbl.replace m.seen k ();
+                  cert.Serialization.order @ [ k ]
+                end
               in
               m.state <- Running { cert with Serialization.order };
               `Ok
@@ -81,6 +92,12 @@ let history m = m.history
 
 let certificate m =
   match m.state with Running c -> Some c | Failed _ -> None
+
+let pending_txns m =
+  List.length
+    (List.filter
+       (fun txn -> not (Txn.is_t_complete txn))
+       (History.infos m.history))
 
 let violation_index m = m.violation_index
 let events_seen m = m.events_seen

@@ -15,7 +15,14 @@
     only searches at {e response} events, seeding the search with the
     previous certificate's order — by Lemma 1 certificates project to
     prefixes, so the hint is usually one transposition away from a witness
-    for the extension. *)
+    for the extension.
+
+    The monitor accepts {e incomplete} input gracefully: histories whose
+    final event leaves transactions live or commit-pending (crashed
+    threads, stalled [tryC]s, truncated traces) are first-class — pending
+    transactions are tracked for as long as the stream lives, and with a
+    [max_nodes] budget every push terminates with an outcome rather than
+    hanging on an adversarial pending-set explosion. *)
 
 type t
 
@@ -37,6 +44,13 @@ val certificate : t -> Serialization.t option
 
 val violation_index : t -> int option
 (** Length of the first violating prefix, if a violation occurred. *)
+
+val pending_txns : t -> int
+(** Transactions in the accepted stream that are not yet t-complete —
+    including permanently-pending ones (crashed threads, stalled [tryC]s),
+    which the monitor tracks indefinitely without corrupting its state:
+    they sit in the certificate order and are resolved afresh, per search,
+    through the completion choices. *)
 
 (** {1 Statistics (for the monitoring benchmark)} *)
 

@@ -70,6 +70,8 @@ module Stm = struct
   module Workload = Tm_stm.Workload
   module Harness = Tm_stm.Harness
   module Parallel = Tm_stm.Parallel
+  module Faults = Tm_stm.Faults
+  module Clock = Tm_stm.Clock
 end
 
 module Sim = struct
@@ -77,4 +79,8 @@ module Sim = struct
   module Mem = Tm_sim.Sim_mem
   module Runner = Tm_sim.Runner
   module Explore = Tm_sim.Explore
+
+  module Faults = Tm_sim.Faults
+  (** Fault plans and campaigns (re-exports {!Tm_stm.Faults} plus the
+      campaign layer). *)
 end

@@ -46,8 +46,11 @@ let run ?(max_runs = 10_000) ~make ~on_result () =
   loop ();
   { runs = !runs; exhaustive = not !cut }
 
-let explore_stm ?max_runs ?max_retries ~stm ~params ~seed ~on_history () =
-  let make () = Runner.setup ?max_retries ~stm ~params ~seed () in
+let explore_stm ?max_runs ?max_retries ?retry ?faults ~stm ~params ~seed
+    ~on_history () =
+  let make () =
+    Runner.setup ?max_retries ?retry ?faults ~stm ~params ~seed ()
+  in
   run ?max_runs ~make
     ~on_result:(fun (r : Runner.result) -> on_history r.Runner.history)
     ()

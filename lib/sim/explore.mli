@@ -27,10 +27,15 @@ val run :
 val explore_stm :
   ?max_runs:int ->
   ?max_retries:int ->
+  ?retry:Tm_stm.Faults.retry ->
+  ?faults:Tm_stm.Faults.spec ->
   stm:string ->
   params:Tm_stm.Workload.params ->
   seed:int ->
   on_history:(History.t -> unit) ->
   unit ->
   outcome
-(** Enumerate schedules of a simulated STM workload ({!Runner.setup}). *)
+(** Enumerate schedules of a simulated STM workload ({!Runner.setup}).
+    With a [faults] plan, enumerates every schedule of the {e faulted}
+    program — the injector is re-created per schedule, so per-thread fault
+    points fire identically in each. *)

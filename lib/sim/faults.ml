@@ -1,0 +1,54 @@
+include Tm_stm.Faults
+
+type outcome = [ `Ok | `Violation of string | `Budget of string ]
+
+type report = {
+  seed : int;
+  spec : Tm_stm.Faults.spec;
+  history : History.t;
+  stats : Tm_stm.Harness.stats;
+  outcome : outcome option;
+  commit_pending : int;
+  incomplete : int;
+}
+
+let horizon (params : Tm_stm.Workload.params) =
+  params.Tm_stm.Workload.txns_per_thread
+  * (params.Tm_stm.Workload.ops_per_txn + 1)
+
+let run_one ?(max_nodes = 2_000_000) ?(check = true) ?retry ~stm ~params ~spec
+    ~seed () =
+  let r = Runner.run ?retry ~faults:spec ~stm ~params ~seed () in
+  let h = r.Runner.history in
+  let outcome =
+    if not check then None
+    else
+      (* The monitor replays the history event by event, so an [`Ok] is a
+         du-opacity verdict for the history AND every one of its prefixes —
+         exactly the prefix-closure obligation (Corollary 2) restated as a
+         campaign invariant. *)
+      let m = Tm_checker.Monitor.create ~max_nodes () in
+      Some (Tm_checker.Monitor.push_all m (History.to_list h))
+  in
+  let infos = History.infos h in
+  {
+    seed;
+    spec;
+    history = h;
+    stats = r.Runner.stats;
+    outcome;
+    commit_pending = List.length (History.commit_pending h);
+    incomplete =
+      List.length (List.filter (fun t -> not (Txn.is_t_complete t)) infos);
+  }
+
+let campaign ?max_nodes ?check ?retry ?kinds ~stm ~params ~seeds () =
+  List.map
+    (fun seed ->
+      let spec =
+        sample ?kinds
+          ~n_threads:params.Tm_stm.Workload.n_threads
+          ~horizon:(horizon params) ~seed ()
+      in
+      run_one ?max_nodes ?check ?retry ~stm ~params ~spec ~seed ())
+    seeds

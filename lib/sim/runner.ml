@@ -1,6 +1,13 @@
 type result = { history : History.t; stats : Tm_stm.Harness.stats }
 
-let setup ?(max_retries = 50) ~stm ~params ~seed () =
+let setup ?max_retries ?retry ?(faults = Tm_stm.Faults.none) ~stm ~params
+    ~seed () =
+  let retry =
+    match retry, max_retries with
+    | Some r, _ -> r
+    | None, Some n -> Tm_stm.Faults.retry_fixed n
+    | None, None -> Tm_stm.Faults.retry_fixed 50
+  in
   let (module A : Tm_stm.Tm_intf.ALGORITHM) = Tm_stm.Registry.find_exn stm in
   let module T = A (Sim_mem) in
   let instance =
@@ -10,6 +17,14 @@ let setup ?(max_retries = 50) ~stm ~params ~seed () =
   in
   let programs =
     Tm_stm.Workload.generate params (Random.State.make [| seed |])
+  in
+  let injector =
+    Tm_stm.Faults.injector ~n_threads:params.Tm_stm.Workload.n_threads faults
+  in
+  let pause n =
+    for _ = 1 to n do
+      Sched.yield ()
+    done
   in
   let log = ref [] in
   let emit ev = log := ev :: !log in
@@ -21,18 +36,21 @@ let setup ?(max_retries = 50) ~stm ~params ~seed () =
   in
   let stats = Tm_stm.Harness.empty_stats () in
   let fibers =
-    List.map
-      (fun thread_prog () ->
-        Tm_stm.Harness.run_thread instance ~emit ~next_id ~stats ~max_retries
-          thread_prog)
+    List.mapi
+      (fun thread thread_prog () ->
+        Tm_stm.Harness.run_thread instance ~emit ~next_id ~stats
+          ~faults:injector ~pause ~retry ~thread thread_prog)
       programs
   in
   let extract () =
-    { history = History.of_events_exn (List.rev !log); stats }
+    let events = Tm_stm.Faults.truncate faults (List.rev !log) in
+    { history = History.of_events_exn events; stats }
   in
   (fibers, extract)
 
-let run ?max_retries ~stm ~params ~seed () =
-  let fibers, extract = setup ?max_retries ~stm ~params ~seed () in
+let run ?max_retries ?retry ?faults ~stm ~params ~seed () =
+  let fibers, extract =
+    setup ?max_retries ?retry ?faults ~stm ~params ~seed ()
+  in
   Sched.run_seeded ~seed:(seed + 0x5eed) fibers;
   extract ()

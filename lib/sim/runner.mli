@@ -5,22 +5,31 @@
     through the chosen algorithm ({!Tm_stm.Registry}) instantiated over
     {!Sim_mem}; the scheduler interleaves them at memory-access granularity.
     Same [seed] (and same chooser) — same history, byte for byte: the
-    safety experiments and their failures are replayable. *)
+    safety experiments and their failures are replayable.  The same holds
+    with a fault plan: same [seed] and same [faults] — same (possibly
+    incomplete) history. *)
 
 type result = { history : History.t; stats : Tm_stm.Harness.stats }
 
 val setup :
   ?max_retries:int ->
+  ?retry:Tm_stm.Faults.retry ->
+  ?faults:Tm_stm.Faults.spec ->
   stm:string ->
   params:Tm_stm.Workload.params ->
   seed:int ->
   unit ->
   (unit -> unit) list * (unit -> result)
 (** Fresh shared state, fibers, and a result extractor — the building block
-    {!Explore} re-invokes once per schedule. *)
+    {!Explore} re-invokes once per schedule.  [retry] overrides
+    [max_retries] (which is kept as the historical shorthand for
+    [Faults.retry_fixed], default 50 attempts); [faults] defaults to
+    {!Tm_stm.Faults.none}. *)
 
 val run :
   ?max_retries:int ->
+  ?retry:Tm_stm.Faults.retry ->
+  ?faults:Tm_stm.Faults.spec ->
   stm:string ->
   params:Tm_stm.Workload.params ->
   seed:int ->

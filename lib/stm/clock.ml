@@ -1,0 +1,11 @@
+(** Monotonic time for benchmark intervals.
+
+    [Unix.gettimeofday] follows the wall clock, so an NTP step or manual
+    adjustment mid-benchmark yields garbage (even negative) elapsed times.
+    This reads [CLOCK_MONOTONIC] through a tiny C stub instead; only
+    differences are meaningful. *)
+
+external monotonic_ns : unit -> int64 = "tm_clock_monotonic_ns"
+
+let now () = Int64.to_float (monotonic_ns ()) /. 1e9
+(** Seconds from an arbitrary fixed origin; strictly non-decreasing. *)

@@ -1,0 +1,15 @@
+/* Monotonic clock for benchmark timing: immune to wall-clock (NTP,
+   manual) adjustments, unlike gettimeofday.  CLOCK_MONOTONIC is POSIX. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value tm_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

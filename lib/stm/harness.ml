@@ -5,17 +5,34 @@
     bracketed by its invocation and response events sent to the [sink] —
     so the recorded sequence is by construction a well-formed history of
     the run.  Shared by the deterministic simulator ([Tm_sim.Runner]) and
-    the domain-parallel runner ({!Parallel}). *)
+    the domain-parallel runner ({!Parallel}).
+
+    Every t-operation boundary consults a {!Faults} plan, so runs can be
+    made to crash threads mid-transaction, withhold [tryC] responses, or
+    abort spuriously — producing the incomplete histories the paper's
+    completion and closure machinery is about.  The default plan never
+    fires. *)
 
 type stats = {
   mutable commits : int;
   mutable commit_aborts : int;  (** [tryC] returned [A_k] *)
   mutable op_aborts : int;  (** a read or write raised [Abort] *)
   mutable gave_up : int;  (** retry budget exhausted; program skipped *)
+  mutable crashes : int;  (** fault plan killed the thread mid-transaction *)
+  mutable stalls : int;  (** fault plan withheld a [tryC] response *)
+  mutable spurious_aborts : int;  (** fault plan forced an [A_k] *)
 }
 
 let empty_stats () =
-  { commits = 0; commit_aborts = 0; op_aborts = 0; gave_up = 0 }
+  {
+    commits = 0;
+    commit_aborts = 0;
+    op_aborts = 0;
+    gave_up = 0;
+    crashes = 0;
+    stalls = 0;
+    spurious_aborts = 0;
+  }
 
 let add_stats a b =
   {
@@ -23,16 +40,56 @@ let add_stats a b =
     commit_aborts = a.commit_aborts + b.commit_aborts;
     op_aborts = a.op_aborts + b.op_aborts;
     gave_up = a.gave_up + b.gave_up;
+    crashes = a.crashes + b.crashes;
+    stalls = a.stalls + b.stalls;
+    spurious_aborts = a.spurious_aborts + b.spurious_aborts;
   }
 
 let attempts s = s.commits + s.commit_aborts + s.op_aborts
 
+(* A crash or stall consumed the thread: unwind to [run_thread]. *)
+exception Halted
+
 (* One attempt; true = committed. *)
-let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~id prog =
+let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~faults ~thread ~id
+    prog =
   let txn = I.begin_txn () in
+  (* Release the instance's resources without recording anything.  [abort]
+     never raises per the interface, but the controls are deliberately
+     sloppy — stay safe. *)
+  let reclaim () = try I.abort txn with Tm_intf.Abort -> () in
+  let crash inv =
+    (* The thread dies between invoking the operation and executing it: the
+       invocation is recorded and will never be answered.  The transaction's
+       resources are reclaimed (as a crash-recovering runtime would) so
+       surviving threads cannot wedge on a dead transaction's locks; its
+       deferred updates are never published. *)
+    emit (Event.Inv (id, inv));
+    reclaim ();
+    stats.crashes <- stats.crashes + 1;
+    raise Halted
+  in
+  let spurious inv =
+    emit (Event.Inv (id, inv));
+    reclaim ();
+    emit (Event.Res (id, Event.Aborted));
+    stats.spurious_aborts <- stats.spurious_aborts + 1
+  in
   match
     List.iter
       (fun op ->
+        let inv =
+          match op with
+          | Workload.Read x -> Event.Read x
+          | Workload.Write (x, v) -> Event.Write (x, v)
+        in
+        (match Faults.decide faults ~thread ~tryc:false with
+        | Faults.Proceed -> ()
+        | Faults.Crash -> crash inv
+        | Faults.Spurious ->
+            spurious inv;
+            raise Tm_intf.Abort
+        | Faults.Stall -> assert false (* stalls only fire at tryC *));
         match op with
         | Workload.Read x -> (
             emit (Event.Inv (id, Event.Read x));
@@ -53,27 +110,53 @@ let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~id prog =
   | exception Tm_intf.Abort ->
       stats.op_aborts <- stats.op_aborts + 1;
       false
-  | () ->
-      emit (Event.Inv (id, Event.Try_commit));
-      if I.commit txn then begin
-        emit (Event.Res (id, Event.Committed));
-        stats.commits <- stats.commits + 1;
-        true
-      end
-      else begin
-        emit (Event.Res (id, Event.Aborted));
-        stats.commit_aborts <- stats.commit_aborts + 1;
-        false
-      end
+  | () -> (
+      match Faults.decide faults ~thread ~tryc:true with
+      | Faults.Crash -> crash Event.Try_commit
+      | Faults.Stall ->
+          (* The tryCommit is invoked and executes — its effects may well be
+             visible to other transactions — but the response is withheld
+             forever: a commit-pending zombie. *)
+          emit (Event.Inv (id, Event.Try_commit));
+          ignore (I.commit txn : bool);
+          stats.stalls <- stats.stalls + 1;
+          raise Halted
+      | Faults.Spurious ->
+          spurious Event.Try_commit;
+          stats.commit_aborts <- stats.commit_aborts + 1;
+          false
+      | Faults.Proceed ->
+          emit (Event.Inv (id, Event.Try_commit));
+          if I.commit txn then begin
+            emit (Event.Res (id, Event.Committed));
+            stats.commits <- stats.commits + 1;
+            true
+          end
+          else begin
+            emit (Event.Res (id, Event.Aborted));
+            stats.commit_aborts <- stats.commit_aborts + 1;
+            false
+          end)
 
-let run_thread instance ~emit ~next_id ~stats ~max_retries
+let run_thread instance ~emit ~next_id ~stats
+    ?(faults = Faults.injector ~n_threads:1 Faults.none)
+    ?(pause = fun _ -> ()) ?(retry = Faults.retry_fixed 50) ?(thread = 0)
     (programs : Workload.thread_prog) =
-  List.iter
-    (fun prog ->
-      let rec retry budget =
-        if budget = 0 then stats.gave_up <- stats.gave_up + 1
-        else if not (run_attempt instance ~emit ~stats ~id:(next_id ()) prog)
-        then retry (budget - 1)
-      in
-      retry max_retries)
-    programs
+  try
+    List.iter
+      (fun prog ->
+        let rec attempt failures =
+          if failures >= retry.Faults.max_attempts then
+            stats.gave_up <- stats.gave_up + 1
+          else begin
+            if failures > 0 then pause (retry.Faults.backoff failures);
+            if
+              not
+                (run_attempt instance ~emit ~stats ~faults ~thread
+                   ~id:(next_id ()) prog)
+            then attempt (failures + 1)
+          end
+        in
+        attempt 0)
+      programs
+  with Halted -> ()

@@ -3,7 +3,11 @@
     Used two ways: with [record = true] for safety experiments (every event
     goes through a mutex-serialised log whose append order is a valid
     real-time order of the run) and with [record = false] for the
-    throughput benchmarks (no shared log on the hot path). *)
+    throughput benchmarks (no shared log on the hot path).
+
+    A {!Faults} plan can crash domains mid-transaction, stall a [tryC], or
+    truncate the recorded log — per-thread boundary counters make the plan
+    meaningful even though real domains interleave nondeterministically. *)
 
 type result = {
   history : History.t option;
@@ -14,11 +18,23 @@ type result = {
 let throughput r =
   float_of_int r.stats.Harness.commits /. r.elapsed_s
 
-let run ?(record = false) ?(max_retries = 100) ~algorithm ~params ~seed () =
+let run ?(record = false) ?(max_retries = 100) ?retry ?(faults = Faults.none)
+    ~algorithm ~params ~seed () =
+  let retry =
+    match retry with Some r -> r | None -> Faults.retry_fixed max_retries
+  in
   let (module A : Tm_intf.ALGORITHM) = algorithm in
   let module T = A (Atomic_mem) in
   let instance = Tm_intf.instantiate (module T) ~n_vars:params.Workload.n_vars in
   let programs = Workload.generate params (Random.State.make [| seed |]) in
+  let injector =
+    Faults.injector ~n_threads:params.Workload.n_threads faults
+  in
+  let pause n =
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+  in
   let log = ref [] in
   let log_mutex = Mutex.create () in
   let emit =
@@ -30,15 +46,15 @@ let run ?(record = false) ?(max_retries = 100) ~algorithm ~params ~seed () =
   in
   let ids = Atomic.make 1 in
   let next_id () = Atomic.fetch_and_add ids 1 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let domains =
-    List.map
-      (fun thread_prog ->
+    List.mapi
+      (fun thread thread_prog ->
         let stats = Harness.empty_stats () in
         let d =
           Domain.spawn (fun () ->
-              Harness.run_thread instance ~emit ~next_id ~stats ~max_retries
-                thread_prog;
+              Harness.run_thread instance ~emit ~next_id ~stats
+                ~faults:injector ~pause ~retry ~thread thread_prog;
               stats)
         in
         d)
@@ -49,8 +65,10 @@ let run ?(record = false) ?(max_retries = 100) ~algorithm ~params ~seed () =
       (fun acc d -> Harness.add_stats acc (Domain.join d))
       (Harness.empty_stats ()) domains
   in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = Clock.now () -. t0 in
   let history =
-    if record then Some (History.of_events_exn (List.rev !log)) else None
+    if record then
+      Some (History.of_events_exn (Faults.truncate faults (List.rev !log)))
+    else None
   in
   { history; stats; elapsed_s }

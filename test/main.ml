@@ -11,6 +11,7 @@ let () =
     @ Test_monitor.suite
     @ Test_properties.suite
     @ Test_stm.suite
+    @ Test_faults.suite
     @ Test_findings.suite
     @ Test_limit.suite
     @ Test_shrink.suite

@@ -76,6 +76,29 @@ let test_budget () =
   | `Ok -> Alcotest.fail "expected budget exhaustion"
   | `Violation why -> Alcotest.failf "budget must not report violation: %s" why
 
+let test_commit_pending_stream () =
+  (* A stream that ends with a permanently pending tryC — a stalled commit
+     or crashed thread — must be accepted as-is: Ok verdict, certificate
+     intact, and the pending transaction tracked without corrupting state. *)
+  let events = History.to_list Dsl.(history [ w 1 x 1; c_inv 1 ]) in
+  let m, outcome = feed events in
+  (match outcome with
+  | `Ok -> ()
+  | `Violation why -> Alcotest.failf "unexpected violation: %s" why
+  | `Budget why -> Alcotest.failf "unexpected budget: %s" why);
+  Alcotest.(check bool) "certificate survives" true
+    (Monitor.certificate m <> None);
+  Alcotest.(check int) "one transaction pending" 1 (Monitor.pending_txns m);
+  (* The stream lives on: later transactions push fine around the zombie. *)
+  (match
+     Monitor.push_all m
+       (History.to_list Dsl.(history [ r 2 y 0; c 2 ]) )
+   with
+  | `Ok -> ()
+  | `Violation why -> Alcotest.failf "push after zombie: %s" why
+  | `Budget why -> Alcotest.failf "budget after zombie: %s" why);
+  Alcotest.(check int) "zombie still pending" 1 (Monitor.pending_txns m)
+
 let test_incremental_efficiency () =
   (* With certificate reuse, a long du-opaque stream should cost roughly a
      constant number of nodes per response: each search succeeds straight
@@ -105,6 +128,8 @@ let suite =
         test "rejects ill-formed events" test_ill_formed_stream;
         test "agrees with offline checker" test_matches_offline;
         test "budget surfaces as Budget" test_budget;
+        test "accepts a permanently commit-pending stream"
+          test_commit_pending_stream;
         test "incremental efficiency" test_incremental_efficiency;
       ] );
   ]

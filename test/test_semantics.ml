@@ -101,6 +101,29 @@ let test_completion_enumerate () =
     [ []; [ 1 ]; [ 1; 2 ]; [ 2 ] ]
     commit_sets
 
+let test_completion_enumerate_limit () =
+  (* 3 pending tryCs => 8 completions; a limit of 4 truncates. *)
+  let h =
+    history [ w 1 x 1; c_inv 1; w 2 y 1; c_inv 2; w 3 z 1; c_inv 3 ]
+  in
+  Alcotest.(check int) "count" 8 (Completion.count h);
+  let some = Completion.enumerate ~limit:4 h in
+  Alcotest.(check int) "limit respected" 4 (List.length some);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "each is a completion" true
+        (Completion.is_completion c ~of_:h))
+    some;
+  (* The cap bounds the work, not just the list: a pending set whose full
+     enumeration (2^30 completions) could never fit in memory must return
+     promptly. *)
+  let adversarial =
+    history
+      (List.concat_map (fun k -> [ w k x k; c_inv k ]) (List.init 30 (fun i -> i + 1)))
+  in
+  Alcotest.(check int) "adversarial pending set, bounded work" 8
+    (List.length (Completion.enumerate ~limit:8 adversarial))
+
 let test_not_completion () =
   let h = history [ w 1 x 1; c_inv 1 ] in
   (* Extra transaction. *)
@@ -199,6 +222,7 @@ let suite =
         test "canonical" test_completion_canonical;
         test "complete-but-not-t-complete" test_completion_complete_but_not_t_complete;
         test "enumerate" test_completion_enumerate;
+        test "enumerate bounded by limit" test_completion_enumerate_limit;
         test "negatives" test_not_completion;
       ] );
     ( "serialization",
