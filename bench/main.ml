@@ -310,7 +310,7 @@ let bench_stm_safety () =
 
 (* --- Section: checker-scaling ------------------------------------------ *)
 
-let tl2_history ~txns ~seed =
+let stm_history ~stm ~txns ~seed =
   let params =
     {
       Stm.Workload.default with
@@ -320,7 +320,9 @@ let tl2_history ~txns ~seed =
       n_vars = 6;
     }
   in
-  (Sim.Runner.run ~stm:"tl2" ~params ~seed ()).Sim.Runner.history
+  (Sim.Runner.run ~stm ~params ~seed ()).Sim.Runner.history
+
+let tl2_history ~txns ~seed = stm_history ~stm:"tl2" ~txns ~seed
 
 let bench_checker_scaling () =
   section_header
@@ -503,35 +505,130 @@ let bench_abort_rate () =
 
 (* --- Section: monitor --------------------------------------------------- *)
 
-let bench_monitor () =
-  section_header "monitor — online verification cost";
-  let tests =
-    List.concat_map
-      (fun txns ->
-        let events =
-          History.to_list (tl2_history ~txns ~seed:(3000 + txns))
-        in
-        let n = List.length events in
-        [
-          Test.make
-            ~name:(Fmt.str "monitor stream   txns=%02d events=%03d" txns n)
-            (Staged.stage (fun () ->
-                 let m = Monitor.create () in
-                 ignore (Monitor.push_all m events)));
-          Test.make
-            ~name:(Fmt.str "offline rechecks txns=%02d events=%03d" txns n)
-            (Staged.stage (fun () ->
-                 let h = History.of_events_exn events in
-                 List.iter
-                   (fun i -> ignore (Du_opacity.check (History.prefix h i)))
-                   (History.response_indices h)));
-        ])
-      [ 6; 12; 24 ]
+(* Perf T5: incremental monitor vs the pre-fast-path design on long
+   recorded streams.  The baseline re-creates what Monitor.push used to do
+   per response: one full certificate-hinted search over the whole prefix. *)
+
+type monitor_row = {
+  row_stm : string;
+  row_events : int;
+  row_responses : int;
+  row_hits : int;
+  row_searches : int;
+  row_nodes : int;
+  row_inc_s : float;
+  row_full_s : float;
+}
+
+let measure_monitor_stream ~stm ~txns ~seed =
+  let h = stm_history ~stm ~txns ~seed in
+  let events = History.to_list h in
+  let t0 = Stm.Clock.now () in
+  let m = Monitor.create () in
+  ignore (Monitor.push_all m events);
+  let inc_s = Stm.Clock.now () -. t0 in
+  let t0 = Stm.Clock.now () in
+  let hint = ref None in
+  List.iter
+    (fun i ->
+      match Du_opacity.check ?hint:!hint (History.prefix h i) with
+      | Verdict.Sat s -> hint := Some s.Serialization.order
+      | Verdict.Unsat _ | Verdict.Unknown _ -> ())
+    (History.response_indices h);
+  let full_s = Stm.Clock.now () -. t0 in
+  {
+    row_stm = stm;
+    row_events = List.length events;
+    row_responses = Monitor.responses_seen m;
+    row_hits = Monitor.fastpath_hits m;
+    row_searches = Monitor.searches_run m;
+    row_nodes = Monitor.nodes_total m;
+    row_inc_s = inc_s;
+    row_full_s = full_s;
+  }
+
+let monitor_rows () =
+  (* >= 2000 events per stream (3 threads x 84 txns x 4 boundaries x 2). *)
+  List.map
+    (fun (stm, seed) -> measure_monitor_stream ~stm ~txns:252 ~seed)
+    [ ("tl2", 4000); ("norec", 5000) ]
+
+let events_per_s row seconds =
+  if seconds <= 0. then 0. else float_of_int row.row_events /. seconds
+
+let hit_rate row =
+  if row.row_responses = 0 then 0.
+  else float_of_int row.row_hits /. float_of_int row.row_responses
+
+let json_mode = ref false
+
+let monitor_json rows =
+  (* Hand-rolled JSON: stable keys, no dependency. *)
+  let row_json r =
+    Fmt.str
+      {|    {"stm": %S, "events": %d, "responses": %d,
+     "incremental": {"seconds": %.6f, "events_per_s": %.1f,
+                     "fastpath_hits": %d, "hit_rate": %.4f,
+                     "searches": %d, "nodes": %d},
+     "full_baseline": {"seconds": %.6f, "events_per_s": %.1f},
+     "speedup": %.2f}|}
+      r.row_stm r.row_events r.row_responses r.row_inc_s
+      (events_per_s r r.row_inc_s)
+      r.row_hits (hit_rate r) r.row_searches r.row_nodes r.row_full_s
+      (events_per_s r r.row_full_s)
+      (if r.row_inc_s <= 0. then 0. else r.row_full_s /. r.row_inc_s)
   in
-  print_timings (run_bechamel tests);
-  Fmt.pr
-    "  => expected shape: the monitor (certificate-hinted) beats re-running \
-     the checker per prefix, and the gap grows with length.@."
+  Fmt.pr {|{"benchmark": "monitor", "unit": "events_per_s", "streams": [@.%s@.]}@.|}
+    (String.concat ",\n" (List.map row_json rows))
+
+let bench_monitor () =
+  if !json_mode then monitor_json (monitor_rows ())
+  else begin
+    section_header "monitor — online verification cost";
+    let tests =
+      List.concat_map
+        (fun txns ->
+          let events =
+            History.to_list (tl2_history ~txns ~seed:(3000 + txns))
+          in
+          let n = List.length events in
+          [
+            Test.make
+              ~name:(Fmt.str "monitor stream   txns=%02d events=%03d" txns n)
+              (Staged.stage (fun () ->
+                   let m = Monitor.create () in
+                   ignore (Monitor.push_all m events)));
+            Test.make
+              ~name:(Fmt.str "offline rechecks txns=%02d events=%03d" txns n)
+              (Staged.stage (fun () ->
+                   let h = History.of_events_exn events in
+                   List.iter
+                     (fun i -> ignore (Du_opacity.check (History.prefix h i)))
+                     (History.response_indices h)));
+          ])
+        [ 6; 12; 24 ]
+    in
+    print_timings (run_bechamel tests);
+    Fmt.pr
+      "  => expected shape: the monitor (certificate-hinted) beats re-running \
+       the checker per prefix, and the gap grows with length.@.";
+    Fmt.pr "@.  Perf T5 — incremental vs full re-search on long streams:@.";
+    Fmt.pr "  %-7s %7s %10s %9s %9s %12s %12s %8s@." "stm" "events"
+      "responses" "hit-rate" "searches" "inc ev/s" "full ev/s" "speedup";
+    List.iter
+      (fun r ->
+        Fmt.pr "  %-7s %7d %10d %8.1f%% %9d %12.0f %12.0f %7.1fx@." r.row_stm
+          r.row_events r.row_responses
+          (100. *. hit_rate r)
+          r.row_searches
+          (events_per_s r r.row_inc_s)
+          (events_per_s r r.row_full_s)
+          (if r.row_inc_s <= 0. then 0. else r.row_full_s /. r.row_inc_s))
+      (monitor_rows ());
+    Fmt.pr
+      "  => expected shape: >= 90%% of responses absorbed by certificate \
+       revalidation; speedup grows with stream length.@."
+  end
 
 (* --- main ---------------------------------------------------------------- *)
 
@@ -550,10 +647,14 @@ let sections =
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  json_mode := List.mem "--json" args;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match List.filter (fun a -> a <> "--json") args with
+    | _ :: _ as names -> names
+    | [] -> List.map fst sections
   in
   List.iter
     (fun name ->
@@ -564,4 +665,4 @@ let () =
             (String.concat ", " (List.map fst sections));
           exit 1)
     requested;
-  Fmt.pr "@.done.@."
+  if not !json_mode then Fmt.pr "@.done.@."

@@ -343,10 +343,19 @@ let chaos_cmd =
       "pending" "fate" "verdict";
     let ok = ref 0 and violations = ref 0 and budgets = ref 0 in
     let with_pending = ref 0 and incomplete = ref 0 in
+    let responses = ref 0 and hits = ref 0 in
+    let searches = ref 0 and nodes = ref 0 in
     List.iter
       (fun (r : Sim.Faults.report) ->
         if r.Sim.Faults.commit_pending > 0 then incr with_pending;
         if r.Sim.Faults.incomplete > 0 then incr incomplete;
+        (match r.Sim.Faults.monitor with
+        | Some m ->
+            responses := !responses + m.Sim.Faults.responses;
+            hits := !hits + m.Sim.Faults.fastpath_hits;
+            searches := !searches + m.Sim.Faults.searches;
+            nodes := !nodes + m.Sim.Faults.nodes
+        | None -> ());
         let verdict =
           match r.Sim.Faults.outcome with
           | None -> "-"
@@ -374,9 +383,17 @@ let chaos_cmd =
     Fmt.pr
       "# %d runs: %d incomplete histories, %d with a pending tryCommit@."
       (List.length reports) !incomplete !with_pending;
-    if check then
+    if check then begin
       Fmt.pr "# verdicts: %d ok, %d violations, %d budget-exhausted@." !ok
         !violations !budgets;
+      if !responses > 0 then
+        Fmt.pr
+          "# monitor fast path: %d/%d responses revalidated in place \
+           (%.1f%%), %d searches, %d nodes@."
+          !hits !responses
+          (100. *. float_of_int !hits /. float_of_int !responses)
+          !searches !nodes
+    end;
     if !violations > 0 then 1 else if !budgets > 0 then 2 else 0
   in
   Cmd.v
@@ -399,12 +416,22 @@ let monitor_cmd =
         3
     | Ok h -> (
         let m = Monitor.create ?max_nodes () in
+        let report_fastpath () =
+          let responses = Monitor.responses_seen m in
+          let hits = Monitor.fastpath_hits m in
+          if responses > 0 then
+            Fmt.pr
+              "fast path: %d/%d responses revalidated in place (%.1f%%), %d \
+               searches, %d nodes@."
+              hits responses
+              (100. *. float_of_int hits /. float_of_int responses)
+              (Monitor.searches_run m) (Monitor.nodes_total m)
+        in
         match Monitor.push_all m (History.to_list h) with
         | `Ok ->
-            Fmt.pr "ok: every prefix (%d events, %d searches, %d nodes) is \
-                    du-opaque@."
-              (Monitor.events_seen m) (Monitor.searches_run m)
-              (Monitor.nodes_total m);
+            Fmt.pr "ok: every prefix (%d events) is du-opaque@."
+              (Monitor.events_seen m);
+            report_fastpath ();
             0
         | `Violation why ->
             Fmt.pr "VIOLATION: %s@." why;
@@ -413,9 +440,11 @@ let monitor_cmd =
                 Fmt.pr "first violating prefix:@.%s@."
                   (Pretty.timeline (History.prefix h i))
             | None -> ());
+            report_fastpath ();
             1
         | `Budget why ->
             Fmt.pr "unknown: %s@." why;
+            report_fastpath ();
             2)
   in
   Cmd.v

@@ -7,3 +7,9 @@ let check_fast ?max_nodes h =
   match Conflict_opacity.attempt h with
   | Some s -> Verdict.Sat s
   | None -> check ?max_nodes h
+
+type inc = Search.ictx
+
+let incremental () = Search.ictx Search.du
+
+let check_inc ?max_nodes ?hint inc h = Search.search_ictx ?max_nodes ?hint inc h

@@ -23,3 +23,21 @@ val check_fast : ?max_nodes:int -> History.t -> Verdict.t
     before falling back to the exact search.  Same verdicts as {!check} on
     every input; faster on histories whose conflict order is already a valid
     serialization (e.g. histories recorded from well-behaved STMs). *)
+
+(** {1 Incremental checking}
+
+    For a caller that checks an ever-growing history repeatedly — the
+    online monitor — a persistent {!Search.ictx} amortises the
+    per-transaction table construction across calls.  Same verdicts as
+    {!check} on every input. *)
+
+type inc
+
+val incremental : unit -> inc
+(** A fresh du-mode incremental context. *)
+
+val check_inc :
+  ?max_nodes:int -> ?hint:Event.tx list -> inc -> History.t -> Verdict.t * Search.stats
+(** [check_inc inc h] — like {!check_stats}, but successive calls must pass
+    successive extensions of the same history and pay only for the events
+    appended since the previous call. *)

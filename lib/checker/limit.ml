@@ -6,15 +6,6 @@ type report = {
   all_du_opaque : bool;
 }
 
-let is_prefix_of shorter longer =
-  let a = History.to_list shorter and b = History.to_list longer in
-  let rec go = function
-    | [], _ -> true
-    | _, [] -> false
-    | x :: xs, y :: ys -> Event.equal x y && go (xs, ys)
-  in
-  go (a, b)
-
 let rec list_is_prefix eq a b =
   match a, b with
   | [], _ -> true
@@ -24,10 +15,12 @@ let rec list_is_prefix eq a b =
 let analyze ?max_nodes ~family ~depths () =
   let depths = List.sort_uniq Int.compare depths in
   let members = List.map (fun d -> (d, family d)) depths in
-  (* Monotonicity: each member a prefix of the next. *)
+  (* Monotonicity: each member a prefix of the next.  [History.is_prefix]
+     is O(1) for members sharing storage and a single traversal otherwise —
+     never the two full list conversions per pair this used to cost. *)
   let rec check_monotone = function
     | (d1, h1) :: ((d2, h2) :: _ as rest) ->
-        if not (is_prefix_of h1 h2) then
+        if not (History.is_prefix h1 ~of_:h2) then
           Fmt.invalid_arg
             "Limit.analyze: member at depth %d is not a prefix of depth %d" d1
             d2;
@@ -46,22 +39,32 @@ let analyze ?max_nodes ~family ~depths () =
   let never_complete =
     List.filter (fun k -> not (completes_somewhere k)) (History.txns deepest)
   in
-  (* Serialization chain, each search hinted by the previous certificate. *)
+  (* Serialization chain: one online monitor consumes the family member by
+     member — each member's events beyond the previous one are pushed and
+     the running certificate read off at the boundary.  This is the König
+     path construction run through the monitor's revalidation fast path:
+     searches only happen where a response actually perturbs the running
+     certificate, and each is hinted by it. *)
   let all_du = ref true in
+  let monitor = Monitor.create ?max_nodes () in
+  let consumed = ref 0 in
   let chain =
-    let hint = ref None in
     List.map
       (fun (d, h) ->
-        match Du_opacity.check ?max_nodes ?hint:!hint h with
-        | Verdict.Sat s ->
-            hint := Some s.Serialization.order;
+        let len = History.length h in
+        for i = !consumed to len - 1 do
+          ignore (Monitor.push monitor (History.get h i))
+        done;
+        consumed := len;
+        match Monitor.certificate monitor with
+        | Some s ->
             let cseq =
               List.filter
                 (fun k -> Txn.is_complete (History.info h k))
                 s.Serialization.order
             in
             (d, cseq)
-        | Verdict.Unsat _ | Verdict.Unknown _ ->
+        | None ->
             all_du := false;
             (d, []))
       members

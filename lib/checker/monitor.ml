@@ -1,15 +1,28 @@
 type outcome = [ `Ok | `Violation of string | `Budget of string ]
 
-type state =
-  | Running of Serialization.t  (* certificate of the current prefix *)
-  | Failed of outcome
+(* The running certificate is held unmaterialised: [rev_order] accumulates
+   transactions by an O(1) cons (newest first) and [committed] is the
+   decision set; the forward {!Serialization.t} view is (re)built only when
+   something needs it — a validator run, a search hint, the [certificate]
+   accessor — and cached until the order or the decisions change.
 
+   Invariant (while no failure has been recorded): the certificate is a
+   valid du-opaque serialization of [history], i.e.
+   [Serialization.validate ~claim:Du_opaque history (certificate)] holds.
+   Every fast-path acceptance below preserves it by construction; the
+   search fallback re-establishes it with a fresh witness. *)
 type t = {
   max_nodes : int option;
+  inc : Du_opacity.inc;  (* persistent search context for the fallback *)
   mutable history : History.t;
-  mutable state : state;
+  mutable failed : outcome option;  (* [None] while the prefix is du-opaque *)
+  mutable rev_order : Event.tx list;
+  mutable committed : Serialization.Tx_set.t;
+  mutable forward : Serialization.t option;  (* cache of the forward view *)
   mutable violation_index : int option;
   mutable events_seen : int;
+  mutable responses_seen : int;
+  mutable fastpath_hits : int;
   mutable searches_run : int;
   mutable nodes_total : int;
   seen : (Event.tx, unit) Hashtbl.t;
@@ -21,33 +34,233 @@ type t = {
 let create ?max_nodes () =
   {
     max_nodes;
+    inc = Du_opacity.incremental ();
     history = History.empty;
-    state = Running (Serialization.make ~order:[] ~committed:[]);
+    failed = None;
+    rev_order = [];
+    committed = Serialization.Tx_set.empty;
+    forward = None;
     violation_index = None;
     events_seen = 0;
+    responses_seen = 0;
+    fastpath_hits = 0;
     searches_run = 0;
     nodes_total = 0;
     seen = Hashtbl.create 64;
   }
 
-let outcome_of_state = function
-  | Running _ -> `Ok
-  | Failed o -> o
+let force_forward m =
+  match m.forward with
+  | Some s -> s
+  | None ->
+      let s =
+        { Serialization.order = List.rev m.rev_order; committed = m.committed }
+      in
+      m.forward <- Some s;
+      s
 
 let fail m o =
-  m.state <- Failed o;
+  m.failed <- Some o;
   if m.violation_index = None then
     m.violation_index <- Some (History.length m.history);
   o
 
+let run_search m h' =
+  let hint = (force_forward m).Serialization.order in
+  let verdict, stats =
+    Du_opacity.check_inc ?max_nodes:m.max_nodes ~hint m.inc h'
+  in
+  m.searches_run <- m.searches_run + 1;
+  m.nodes_total <- m.nodes_total + stats.Search.nodes;
+  match verdict with
+  | Verdict.Sat cert ->
+      m.rev_order <- List.rev cert.Serialization.order;
+      m.committed <- cert.Serialization.committed;
+      m.forward <- Some cert;
+      `Ok
+  | Verdict.Unsat why ->
+      fail m
+        (`Violation
+          (Fmt.str "prefix of length %d is not du-opaque: %s"
+             (History.length h') why))
+  | Verdict.Unknown why -> fail m (`Budget why)
+
+(* Expected values for an external read of [var] whose response sits at
+   [res_index], scanning certificate predecessors latest-first ([before_rev])
+   and skipping transaction [skip] (0 = none; ids are positive).  Returns the
+   final-state expectation (latest committed writer, Definition 4 legality)
+   and the local-serialization expectation (latest committed writer retained
+   by the deferred-update filter, Definition 3(3)); a valid certificate needs
+   the read to return both. *)
+let expected m h ~skip ~res_index var before_rev =
+  let final_write w =
+    List.assoc_opt var (Txn.final_writes (History.info h w))
+  in
+  let retained w =
+    match Txn.tryc_inv_index (History.info h w) with
+    | Some j -> j < res_index
+    | None -> false
+  in
+  let rec go sem du = function
+    | [] ->
+        ( Option.value sem ~default:Event.init_value,
+          Option.value du ~default:Event.init_value )
+    | w :: rest -> (
+        match sem, du with
+        | Some s, Some d -> (s, d)
+        | _ when w = skip -> go sem du rest
+        | _ ->
+            if Serialization.Tx_set.mem w m.committed then
+              match final_write w with
+              | Some v ->
+                  let sem = match sem with Some _ -> sem | None -> Some v in
+                  let du =
+                    match du with
+                    | Some _ -> du
+                    | None -> if retained w then Some v else None
+                  in
+                  go sem du rest
+              | None -> go sem du rest
+            else go sem du rest)
+  in
+  go None None before_rev
+
+(* Would every value-returning read of [k] be valid if [k] sat at the end of
+   the certificate order?  Sufficient for adopting the order that moves [k]
+   there: [k]'s moved segment is the only thing the validator would see
+   differently — transactions between [k]'s old slot and the end lose only
+   an entry that contributed nothing (aborted, or committing just now with
+   no read downstream of the move), and the real-time clause cannot bind
+   [k] forward since [k]'s latest event is the newest in the history. *)
+let reads_valid_at_end m h k =
+  let txn = History.info h k in
+  List.for_all
+    (fun (r : Txn.read) ->
+      match r.Txn.kind with
+      | `Internal own -> r.Txn.value = own
+      | `External ->
+          let sem, du =
+            expected m h ~skip:k ~res_index:r.Txn.res_index r.Txn.var
+              m.rev_order
+          in
+          r.Txn.value = sem && r.Txn.value = du)
+    (Txn.reads txn)
+
+let move_to_end m k =
+  (match m.rev_order with
+  | k' :: _ when k' = k -> ()  (* already last *)
+  | _ -> m.rev_order <- k :: List.filter (fun k' -> k' <> k) m.rev_order);
+  m.forward <- None
+
+let rec last_read = function
+  | [] -> None
+  | [ (r : Txn.read) ] -> Some r
+  | _ :: rest -> last_read rest
+
+let handle_response m h' k res =
+  let hit () =
+    m.fastpath_hits <- m.fastpath_hits + 1;
+    `Ok
+  in
+  match res with
+  | Event.Write_ok ->
+      (* A live transaction is aborted by the running certificate, so its
+         write is invisible to every other transaction and unconstrained. *)
+      hit ()
+  | Event.Read_ok v -> (
+      (* In place first: the new read is the only clause the validator would
+         check afresh, so compare it against the expectations at [k]'s
+         current certificate position.  Failing that, try sliding [k] (live,
+         hence certificate-aborted) to the end of the order — the common
+         case of a read that observed a transaction committed after [k]'s
+         birth.  Only then search. *)
+      let txn = History.info h' k in
+      match last_read (Txn.reads txn) with
+      | None -> run_search m h' (* defensive: cannot happen on Read_ok *)
+      | Some r ->
+          let ok_in_place =
+            match r.Txn.kind with
+            | `Internal own -> v = own
+            | `External ->
+                let rec drop_to = function
+                  | [] -> []
+                  | k' :: rest -> if k' = k then rest else drop_to rest
+                in
+                let sem, du =
+                  expected m h' ~skip:0 ~res_index:r.Txn.res_index r.Txn.var
+                    (drop_to m.rev_order)
+                in
+                v = sem && v = du
+          in
+          if ok_in_place then hit ()
+          else if reads_valid_at_end m h' k then begin
+            move_to_end m k;
+            hit ()
+          end
+          else run_search m h')
+  | Event.Committed ->
+      if Serialization.Tx_set.mem k m.committed then
+        (* An earlier search already decided to commit [k]; the response
+           merely resolves the pending tryC the way the certificate does. *)
+        hit ()
+      else if reads_valid_at_end m h' k then begin
+        (* Flip [k]'s decision to commit while moving it to the end: its
+           writes become visible to no one (nothing reads after the newest
+           event) and the deferred-update filter retains it for no earlier
+           read, so only [k]'s own reads need rechecking. *)
+        move_to_end m k;
+        m.committed <- Serialization.Tx_set.add k m.committed;
+        m.forward <- None;
+        hit ()
+      end
+      else begin
+        (* Commit [k] in place — e.g. a snapshot-style transaction whose
+           reads are older than an interleaved writer — and let the full
+           certificate validator arbitrate. *)
+        let cand =
+          {
+            Serialization.order = List.rev m.rev_order;
+            committed = Serialization.Tx_set.add k m.committed;
+          }
+        in
+        match Serialization.validate ~claim:Serialization.Du_opaque h' cand with
+        | Ok () ->
+            m.committed <- cand.Serialization.committed;
+            m.forward <- Some cand;
+            hit ()
+        | Error _ -> run_search m h'
+      end
+  | Event.Aborted ->
+      if not (Serialization.Tx_set.mem k m.committed) then
+        (* The certificate already aborts [k]: the pending operation was
+           resolved with A_k in the completion, which the response now
+           makes literal. *)
+        hit ()
+      else begin
+        (* A commit-pending transaction the certificate chose to commit
+           (someone read its value) aborted after all; flip and revalidate,
+           searching — typically refuting — when the flip fails. *)
+        let cand =
+          {
+            Serialization.order = List.rev m.rev_order;
+            committed = Serialization.Tx_set.remove k m.committed;
+          }
+        in
+        match Serialization.validate ~claim:Serialization.Du_opaque h' cand with
+        | Ok () ->
+            m.committed <- cand.Serialization.committed;
+            m.forward <- Some cand;
+            hit ()
+        | Error _ -> run_search m h'
+      end
+
 let push m ev =
-  match m.state with
-  | Failed o -> o
-  | Running cert -> (
+  match m.failed with
+  | Some o -> o
+  | None -> (
       m.events_seen <- m.events_seen + 1;
       match History.extend m.history ev with
-      | Error e ->
-          fail m (`Violation (Fmt.str "%a" History.pp_error e))
+      | Error e -> fail m (`Violation (Fmt.str "%a" History.pp_error e))
       | Ok h' -> (
           m.history <- h';
           match ev with
@@ -56,42 +269,27 @@ let push m ev =
                  certificate (see .mli); only register the new transaction.
                  A transaction that never responds again — a crashed thread,
                  a stalled tryC — simply stays registered here forever: it
-                 constrains nothing until a response event triggers the next
-                 search, where the engine aborts it in a completion. *)
-              let order =
-                if Hashtbl.mem m.seen k then cert.Serialization.order
-                else begin
-                  Hashtbl.replace m.seen k ();
-                  cert.Serialization.order @ [ k ]
-                end
-              in
-              m.state <- Running { cert with Serialization.order };
+                 constrains nothing until a response event involves it. *)
+              if not (Hashtbl.mem m.seen k) then begin
+                Hashtbl.replace m.seen k ();
+                m.rev_order <- k :: m.rev_order;
+                m.forward <- None
+              end;
               `Ok
-          | Event.Res (_, _) -> (
-              let verdict, stats =
-                Du_opacity.check_stats ?max_nodes:m.max_nodes
-                  ~hint:cert.Serialization.order h'
-              in
-              m.searches_run <- m.searches_run + 1;
-              m.nodes_total <- m.nodes_total + stats.Search.nodes;
-              match verdict with
-              | Verdict.Sat cert' ->
-                  m.state <- Running cert';
-                  `Ok
-              | Verdict.Unsat why ->
-                  fail m
-                    (`Violation
-                      (Fmt.str "prefix of length %d is not du-opaque: %s"
-                         (History.length h') why))
-              | Verdict.Unknown why -> fail m (`Budget why))))
+          | Event.Res (k, res) ->
+              m.responses_seen <- m.responses_seen + 1;
+              handle_response m h' k res))
 
 let push_all m events =
-  List.fold_left (fun _ ev -> push m ev) (outcome_of_state m.state) events
+  List.fold_left
+    (fun _ ev -> push m ev)
+    (match m.failed with Some o -> o | None -> `Ok)
+    events
 
 let history m = m.history
 
 let certificate m =
-  match m.state with Running c -> Some c | Failed _ -> None
+  match m.failed with None -> Some (force_forward m) | Some _ -> None
 
 let pending_txns m =
   List.length
@@ -101,5 +299,7 @@ let pending_txns m =
 
 let violation_index m = m.violation_index
 let events_seen m = m.events_seen
+let responses_seen m = m.responses_seen
+let fastpath_hits m = m.fastpath_hits
 let searches_run m = m.searches_run
 let nodes_total m = m.nodes_total

@@ -9,13 +9,20 @@
     contrapositively), so the monitor reports the first violating prefix
     length and stops searching.
 
-    Costs are kept incremental: extending a history by an {e invocation}
-    preserves du-opacity together with its certificate (the new pending
-    operation aborts in a completion and constrains nothing), so the monitor
-    only searches at {e response} events, seeding the search with the
-    previous certificate's order — by Lemma 1 certificates project to
-    prefixes, so the hint is usually one transposition away from a witness
-    for the extension.
+    Event ingestion is cheap by default.  Invocations extend the running
+    certificate in O(1): the new pending operation aborts in a completion
+    and constrains nothing.  Responses go through a {e certificate
+    revalidation} fast path before any search: the running certificate,
+    extended with the completion choice the response implies (commit a
+    pending [tryC] in place or at the end of the order, keep everything
+    else), is checked against the clauses of Definition 3 that the new
+    event could violate — via the independent {!Serialization} validator
+    where a full recheck is needed — and only when no such extension is
+    valid does the monitor fall back to the backtracking search, seeded
+    with the previous order as a hint and run over a persistent
+    {!Search.ictx} so the per-transaction tables are never rebuilt.  On
+    well-behaved streams (e.g. recorded from TL2 or NOrec) nearly all
+    responses are absorbed by revalidation; see {!fastpath_hits}.
 
     The monitor accepts {e incomplete} input gracefully: histories whose
     final event leaves transactions live or commit-pending (crashed
@@ -55,5 +62,15 @@ val pending_txns : t -> int
 (** {1 Statistics (for the monitoring benchmark)} *)
 
 val events_seen : t -> int
+
+val responses_seen : t -> int
+(** Response events accepted or rejected so far; every one was handled
+    either by the revalidation fast path or by a search. *)
+
+val fastpath_hits : t -> int
+(** Responses absorbed by certificate revalidation — no backtracking
+    search ran.  [fastpath_hits / responses_seen] is the fast-path hit
+    rate reported by [tm monitor] and [tm chaos]. *)
+
 val searches_run : t -> int
 val nodes_total : t -> int

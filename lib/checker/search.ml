@@ -19,121 +19,164 @@ type stats = { nodes : int; memo_hits : int; prefiltered : bool }
 
 exception Exhausted
 
-(* Precomputed per-transaction data, indexed densely by 0..n-1. *)
-type ctx = {
-  ids : Event.tx array;  (* dense index -> transaction id *)
-  reads : Txn.read list array;  (* external reads only *)
-  final_writes : (int * Event.value) list array;  (* dense var ids *)
-  choices : bool list array;
-  tryc_inv : int option array;
-  preds : int list array;  (* must-precede, dense *)
-  commit_preds : int list array;  (* must-precede when the target commits *)
-  n_vars : int;
+(* Per-transaction data, indexed densely by 0..n-1, kept across searches.
+
+   The context is a persistent accumulator: [sync] consumes only the events
+   appended since the previous call, growing the dense arrays amortised and
+   keeping the transaction/variable/key interning tables alive, so an online
+   monitor that searches occasionally over an ever-growing history pays for
+   each event once instead of rebuilding everything per search.  Real-time
+   edges are derived at each transaction's birth: the transactions t-complete
+   at that moment are exactly its RT predecessors, so a single cons-list
+   snapshot replaces the batch O(n^2) double loop. *)
+type ictx = {
+  mode : mode;
+  respect_rt : bool;
+  extra_edges : (Event.tx * Event.tx) list;
+  commit_edges : (Event.tx * Event.tx) list;
+  mutable n : int;  (* transactions known *)
+  mutable synced : int;  (* events consumed so far *)
+  mutable ids : Event.tx array;  (* dense index -> transaction id *)
+  mutable reads : Txn.read list array;  (* external reads, dense var ids *)
+  mutable final_writes : (int * Event.value) list array;  (* dense var ids *)
+  mutable choices : bool list array;
+  mutable tryc_inv : int option array;
+  mutable rt_preds : int list array;  (* must-precede (real time), dense *)
+  mutable demands : int list array;  (* keys of external reads *)
+  index : (Event.tx, int) Hashtbl.t;
+  var_index : (Event.tvar, int) Hashtbl.t;
+  mutable n_vars : int;
+  keys : (int * Event.value, int) Hashtbl.t;  (* (dense var, value) -> key *)
+  mutable n_keys : int;
+  mutable t_complete : int list;  (* t-complete so far, most recent first *)
 }
 
-let build_ctx opts h =
-  let infos = Array.of_list (History.infos h) in
-  let n = Array.length infos in
-  let ids = Array.map (fun t -> t.Txn.id) infos in
-  let index = Hashtbl.create (2 * n + 1) in
-  Array.iteri (fun i k -> Hashtbl.replace index k i) ids;
-  let var_index = Hashtbl.create 16 in
-  let n_vars = ref 0 in
-  let dense_var x =
-    match Hashtbl.find_opt var_index x with
-    | Some d -> d
-    | None ->
-        let d = !n_vars in
-        incr n_vars;
-        Hashtbl.replace var_index x d;
-        d
-  in
+let ictx (opts : options) =
+  {
+    mode = opts.mode;
+    respect_rt = opts.respect_rt;
+    extra_edges = opts.extra_edges;
+    commit_edges = opts.commit_edges;
+    n = 0;
+    synced = 0;
+    ids = [||];
+    reads = [||];
+    final_writes = [||];
+    choices = [||];
+    tryc_inv = [||];
+    rt_preds = [||];
+    demands = [||];
+    index = Hashtbl.create 64;
+    var_index = Hashtbl.create 16;
+    n_vars = 0;
+    keys = Hashtbl.create 32;
+    n_keys = 0;
+    t_complete = [];
+  }
+
+let grow c =
+  let cap = Array.length c.ids in
+  if c.n = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let g a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    c.ids <- g c.ids 0;
+    c.reads <- g c.reads [];
+    c.final_writes <- g c.final_writes [];
+    c.choices <- g c.choices [];
+    c.tryc_inv <- g c.tryc_inv None;
+    c.rt_preds <- g c.rt_preds [];
+    c.demands <- g c.demands []
+  end
+
+let dense_var c x =
+  match Hashtbl.find_opt c.var_index x with
+  | Some d -> d
+  | None ->
+      let d = c.n_vars in
+      c.n_vars <- d + 1;
+      Hashtbl.replace c.var_index x d;
+      d
+
+let key_of c xv =
+  match Hashtbl.find_opt c.keys xv with
+  | Some k -> k
+  | None ->
+      let k = c.n_keys in
+      c.n_keys <- k + 1;
+      Hashtbl.replace c.keys xv k;
+      k
+
+(* Recompute transaction [d]'s row from its summary in [h].  Values some
+   external read demands are interned as keys here; a writer's supplies are
+   resolved per search (never cached), so a key interned after the writer
+   last changed is still seen. *)
+let refresh c h d =
+  let txn = History.info h c.ids.(d) in
   let reads =
-    Array.map
-      (fun t ->
-        Txn.reads t
-        |> List.filter_map (fun (r : Txn.read) ->
-               match r.Txn.kind with
-               | `Internal _ -> None (* checked by the prefilter *)
-               | `External -> Some { r with Txn.var = dense_var r.Txn.var }))
-      infos
+    Txn.reads txn
+    |> List.filter_map (fun (r : Txn.read) ->
+           match r.Txn.kind with
+           | `Internal _ -> None (* checked by the prefilter *)
+           | `External -> Some { r with Txn.var = dense_var c r.Txn.var })
   in
-  let final_writes =
-    Array.map
-      (fun t ->
-        List.map (fun (x, v) -> (dense_var x, v)) (Txn.final_writes t))
-      infos
-  in
-  let choices = Array.map Txn.commit_choices infos in
-  let tryc_inv = Array.map Txn.tryc_inv_index infos in
-  let preds = Array.make n [] in
-  let add_edge a b = if a <> b then preds.(b) <- a :: preds.(b) in
-  if opts.respect_rt then
-    for a = 0 to n - 1 do
-      for b = 0 to n - 1 do
-        if
-          a <> b
-          && Txn.is_t_complete infos.(a)
-          && infos.(a).Txn.last_index < infos.(b).Txn.first_index
-        then add_edge a b
-      done
+  c.reads.(d) <- reads;
+  c.demands.(d) <-
+    List.map (fun (r : Txn.read) -> key_of c (r.Txn.var, r.Txn.value)) reads;
+  c.final_writes.(d) <-
+    List.map (fun (x, v) -> (dense_var c x, v)) (Txn.final_writes txn);
+  c.choices.(d) <- Txn.commit_choices txn;
+  c.tryc_inv.(d) <- Txn.tryc_inv_index txn
+
+(* Consume the events of [h] beyond the last synced position.  [h] must be
+   an extension of the history previously synced into [c] (the monitor only
+   ever extends; batch searches use a fresh context). *)
+let sync c h =
+  let len = History.length h in
+  if len < c.synced then
+    invalid_arg "Search.sync: history is shorter than the synced prefix";
+  if len > c.synced then begin
+    let dirty = ref [] in
+    let mark d =
+      match !dirty with
+      | d' :: _ when d' = d -> ()
+      | _ -> dirty := d :: !dirty
+    in
+    for i = c.synced to len - 1 do
+      match History.get h i with
+      | Event.Inv (k, _) -> (
+          match Hashtbl.find_opt c.index k with
+          | Some d -> mark d
+          | None ->
+              grow c;
+              let d = c.n in
+              c.n <- d + 1;
+              Hashtbl.replace c.index k d;
+              c.ids.(d) <- k;
+              c.rt_preds.(d) <- (if c.respect_rt then c.t_complete else []);
+              mark d)
+      | Event.Res (k, res) -> (
+          match Hashtbl.find_opt c.index k with
+          | None ->
+              invalid_arg "Search.sync: response without known transaction"
+          | Some d ->
+              mark d;
+              (match res with
+              | Event.Committed | Event.Aborted ->
+                  c.t_complete <- d :: c.t_complete
+              | Event.Read_ok _ | Event.Write_ok -> ()))
     done;
-  List.iter
-    (fun (ka, kb) ->
-      match Hashtbl.find_opt index ka, Hashtbl.find_opt index kb with
-      | Some a, Some b -> add_edge a b
-      | _, _ -> invalid_arg "Search: extra edge names unknown transaction")
-    opts.extra_edges;
-  let commit_preds = Array.make n [] in
-  List.iter
-    (fun (ka, kb) ->
-      match Hashtbl.find_opt index ka, Hashtbl.find_opt index kb with
-      | Some a, Some b ->
-          if a <> b then commit_preds.(b) <- a :: commit_preds.(b)
-      | _, _ -> invalid_arg "Search: commit edge names unknown transaction")
-    opts.commit_edges;
-  (* Writer-availability bookkeeping for the look-ahead prune: number the
-     distinct (variable, value) pairs that some external read needs, and
-     list per transaction which of those keys it can still supply (final
-     write, commit-capable) and which it demands.  Keys for the initial
-     value additionally have a pseudo-supply — the initial state — that
-     dies while a committed non-initial write to the variable is visible. *)
-  let keys = Hashtbl.create 32 in
-  let n_keys = ref 0 in
-  let key_of (x, v) =
-    match Hashtbl.find_opt keys (x, v) with
-    | Some k -> k
-    | None ->
-        let k = !n_keys in
-        incr n_keys;
-        Hashtbl.replace keys (x, v) k;
-        k
-  in
-  let demands =
-    Array.map
-      (fun rs ->
-        List.map (fun (r : Txn.read) -> key_of (r.Txn.var, r.Txn.value)) rs)
-      reads
-  in
-  let supplies =
-    Array.mapi
-      (fun i writes ->
-        if List.mem true choices.(i) then
-          List.filter_map (fun (x, v) -> Hashtbl.find_opt keys (x, v)) writes
-        else [])
-      final_writes
-  in
-  let zero_key =
-    Array.init !n_vars (fun x -> Hashtbl.find_opt keys (x, Event.init_value))
-  in
-  ( { ids; reads; final_writes; choices; tryc_inv; preds; commit_preds;
-      n_vars = !n_vars },
-    demands, supplies, zero_key, !n_keys )
+    c.synced <- len;
+    List.sort_uniq Int.compare !dirty |> List.iter (refresh c h)
+  end
 
 (* Necessary conditions, checked in linear time.  A violation here refutes
    every serialization, so most negative instances never reach the search. *)
-let prefilter opts h ctx =
-  let n = Array.length ctx.ids in
+let prefilter c h =
+  let n = c.n in
   let internal_ok =
     let rec check_infos = function
       | [] -> Ok ()
@@ -167,15 +210,15 @@ let prefilter opts h ctx =
       let writer_possible i (r : Txn.read) =
         let ok w =
           w <> i
-          && List.mem true ctx.choices.(w)
+          && List.mem true c.choices.(w)
           && List.exists
                (fun (x, v) -> x = r.Txn.var && v = r.Txn.value)
-               ctx.final_writes.(w)
+               c.final_writes.(w)
           &&
-          match opts.mode with
+          match c.mode with
           | Plain -> true
           | Du -> (
-              match ctx.tryc_inv.(w) with
+              match c.tryc_inv.(w) with
               | Some j -> j < r.Txn.res_index
               | None -> false)
         in
@@ -183,21 +226,21 @@ let prefilter opts h ctx =
         exists 0
       in
       let rec check i =
-        if i >= Array.length ctx.ids then Ok ()
+        if i >= n then Ok ()
         else
           match
             List.find_opt
               (fun (r : Txn.read) ->
                 r.Txn.value <> Event.init_value && not (writer_possible i r))
-              ctx.reads.(i)
+              c.reads.(i)
           with
           | Some r ->
               Error
                 (Fmt.str
                    "T%d reads value %d but no transaction can commit that \
                     value%s"
-                   ctx.ids.(i) r.Txn.value
-                   (match opts.mode with
+                   c.ids.(i) r.Txn.value
+                   (match c.mode with
                    | Du -> " having begun committing before the read returned"
                    | Plain -> ""))
           | None -> check (i + 1)
@@ -207,13 +250,12 @@ let prefilter opts h ctx =
 (* The key must determine everything the remaining subtree's feasibility
    depends on: which transactions are placed AND with which decision (the
    availability prune reads decisions), plus the visible write state. *)
-let memo_key mode placed decision stacks =
+let memo_key mode placed decision stacks n =
   let buf = Buffer.create 64 in
-  Array.iteri
-    (fun i p ->
-      Buffer.add_char buf
-        (if not p then '0' else if decision.(i) then 'c' else 'a'))
-    placed;
+  for i = 0 to n - 1 do
+    Buffer.add_char buf
+      (if not placed.(i) then '0' else if decision.(i) then 'c' else 'a')
+  done;
   Array.iter
     (fun stack ->
       Buffer.add_char buf '|';
@@ -240,18 +282,17 @@ let memo_key mode placed decision stacks =
    with the other maps to one starting with it by the transposition.
    This collapses e.g. the paper's Figure 2 family, whose zero-readers are
    all interchangeable, from exponential to linear. *)
-let equivalence_matrix ctx preds succs =
-  let n = Array.length ctx.ids in
+let equivalence_matrix c n preds succs =
   let all_reads =
-    List.concat (Array.to_list (Array.map (fun rs -> rs) ctx.reads))
+    List.concat (List.init n (fun i -> c.reads.(i)))
   in
   let sided tc (r : Txn.read) =
     match tc with Some t -> t < r.Txn.res_index | None -> false
   in
   let equivalent i j =
-    ctx.choices.(i) = ctx.choices.(j)
-    && ctx.final_writes.(i) = ctx.final_writes.(j)
-    && List.length ctx.reads.(i) = List.length ctx.reads.(j)
+    c.choices.(i) = c.choices.(j)
+    && c.final_writes.(i) = c.final_writes.(j)
+    && List.length c.reads.(i) = List.length c.reads.(j)
     && (let swap x = if x = i then j else if x = j then i else x in
         let set_eq a b =
           List.sort_uniq Int.compare (List.map swap a)
@@ -259,11 +300,9 @@ let equivalence_matrix ctx preds succs =
         in
         set_eq preds.(i) preds.(j)
         && set_eq succs.(i) succs.(j)
-        && set_eq ctx.commit_preds.(i) ctx.commit_preds.(j)
         (* identical sidedness as writers, for every read in the history *)
         && List.for_all
-             (fun r ->
-               sided ctx.tryc_inv.(i) r = sided ctx.tryc_inv.(j) r)
+             (fun r -> sided c.tryc_inv.(i) r = sided c.tryc_inv.(j) r)
              all_reads
         (* pairwise matching reads, modulo the transposition *)
         && List.for_all2
@@ -272,12 +311,12 @@ let equivalence_matrix ctx preds succs =
                && ri.Txn.value = rj.Txn.value
                && (let rec upto k =
                      k >= n
-                     || (sided ctx.tryc_inv.(k) ri
-                         = sided ctx.tryc_inv.(swap k) rj
+                     || (sided c.tryc_inv.(k) ri
+                         = sided c.tryc_inv.(swap k) rj
                         && upto (k + 1))
                    in
                    upto 0))
-             ctx.reads.(i) ctx.reads.(j))
+             c.reads.(i) c.reads.(j))
   in
   let matrix = Array.make_matrix n n false in
   for i = 0 to n - 1 do
@@ -290,57 +329,92 @@ let equivalence_matrix ctx preds succs =
   done;
   matrix
 
-let search opts h =
-  let ctx, demands, supplies, zero_key, n_keys = build_ctx opts h in
-  let n = Array.length ctx.ids in
+(* One search over the transactions currently in [c].  Everything sized by
+   the current [c.n] is local to the call: the dense rows persist, the
+   search state does not. *)
+let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
+  let n = c.n in
   if n = 0 then
     ( Verdict.Sat (Serialization.make ~order:[] ~committed:[]),
       { nodes = 0; memo_hits = 0; prefiltered = true } )
   else
-    match prefilter opts h ctx with
+    match prefilter c h with
     | Error why ->
         (Verdict.Unsat why, { nodes = 0; memo_hits = 0; prefiltered = true })
     | Ok () ->
         let placed = Array.make n false in
+        let preds_uniq =
+          let base = Array.init n (fun b -> c.rt_preds.(b)) in
+          List.iter
+            (fun (ka, kb) ->
+              match Hashtbl.find_opt c.index ka, Hashtbl.find_opt c.index kb with
+              | Some a, Some b -> if a <> b then base.(b) <- a :: base.(b)
+              | _, _ ->
+                  invalid_arg "Search: extra edge names unknown transaction")
+            extra_edges;
+          Array.map (List.sort_uniq Int.compare) base
+        in
+        let commit_preds = Array.make n [] in
+        List.iter
+          (fun (ka, kb) ->
+            match Hashtbl.find_opt c.index ka, Hashtbl.find_opt c.index kb with
+            | Some a, Some b ->
+                if a <> b then commit_preds.(b) <- a :: commit_preds.(b)
+            | _, _ ->
+                invalid_arg "Search: commit edge names unknown transaction")
+          commit_edges;
         let pending = Array.make n 0 in
         Array.iteri
-          (fun b preds ->
-            pending.(b) <- List.length (List.sort_uniq Int.compare preds))
-          ctx.preds;
-        let preds_uniq = Array.map (List.sort_uniq Int.compare) ctx.preds in
+          (fun b preds -> pending.(b) <- List.length preds)
+          preds_uniq;
         let succs = Array.make n [] in
         Array.iteri
           (fun b preds ->
             List.iter (fun a -> succs.(a) <- b :: succs.(a)) preds)
           preds_uniq;
         let stacks : (int * Event.value) list array =
-          Array.make ctx.n_vars []
+          Array.make c.n_vars []
         in
-        (* Look-ahead prune bookkeeping: [avail.(k)] counts transactions
-           that could still commit the (var, value) behind key [k];
-           [waiting.(k)] counts unplaced transactions demanding it.
-           Aborting the last potential supplier of a still-demanded value
-           dooms the whole subtree. *)
-        let avail = Array.make (max 1 n_keys) 0 in
-        let waiting = Array.make (max 1 n_keys) 0 in
+        (* Writer-availability bookkeeping for the look-ahead prune:
+           [avail.(k)] counts transactions that could still commit the
+           (var, value) behind key [k]; [waiting.(k)] counts unplaced
+           transactions demanding it.  Aborting the last potential supplier
+           of a still-demanded value dooms the whole subtree.  Supplies are
+           resolved here, per search, against the up-to-date key table. *)
+        let supplies =
+          Array.init n (fun i ->
+              if List.mem true c.choices.(i) then
+                List.filter_map
+                  (fun (x, v) -> Hashtbl.find_opt c.keys (x, v))
+                  c.final_writes.(i)
+              else [])
+        in
+        let zero_key =
+          Array.init c.n_vars (fun x ->
+              Hashtbl.find_opt c.keys (x, Event.init_value))
+        in
+        let avail = Array.make (max 1 c.n_keys) 0 in
+        let waiting = Array.make (max 1 c.n_keys) 0 in
         Array.iter (List.iter (fun k -> avail.(k) <- avail.(k) + 1)) supplies;
-        Array.iter (List.iter (fun k -> waiting.(k) <- waiting.(k) + 1)) demands;
+        for i = 0 to n - 1 do
+          List.iter (fun k -> waiting.(k) <- waiting.(k) + 1) c.demands.(i)
+        done;
         (* The initial state supplies every initial-value key until a
            committed non-initial write to the variable is visible. *)
         Array.iter
           (function Some k -> avail.(k) <- avail.(k) + 1 | None -> ())
           zero_key;
-        let nonzero_commits = Array.make (max 1 ctx.n_vars) 0 in
+        let nonzero_commits = Array.make (max 1 c.n_vars) 0 in
         (* Placement priority: hint order first, then order of first event
            in the history (dense indices already follow first appearance). *)
         let priority =
-          match opts.hint with
+          match hint with
           | None -> Array.init n (fun i -> i)
           | Some hint ->
               let pos = Hashtbl.create 16 in
               List.iteri (fun p k -> Hashtbl.replace pos k p) hint;
               let rank i =
-                match Hashtbl.find_opt pos ctx.ids.(i) with
+                match Hashtbl.find_opt pos c.ids.(i) with
                 | Some p -> p
                 | None -> max_int
               in
@@ -358,20 +432,34 @@ let search opts h =
         let nodes = ref 0 in
         let memo_hits = ref 0 in
         let memo : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-        let budget =
-          match opts.max_nodes with Some b -> b | None -> max_int
-        in
-        let equiv = equivalence_matrix ctx preds_uniq succs in
+        let budget = match max_nodes with Some b -> b | None -> max_int in
+        (* The symmetry matrix costs O(n^2 * reads); a hinted search that
+           succeeds straight down never consults it, so build it lazily the
+           first time the search actually has to backtrack.  Pruning only
+           from that point on is sound: the canonical-candidate rule is a
+           per-node completeness argument, independent across nodes. *)
+        let equiv = ref None in
+        let branched = ref false in
         (* Candidate [i] is redundant while an unplaced interchangeable
            transaction with a smaller index exists. *)
         let canonical i =
+          (not !branched)
+          ||
+          let matrix =
+            match !equiv with
+            | Some m -> m
+            | None ->
+                let m = equivalence_matrix c n preds_uniq succs in
+                equiv := Some m;
+                m
+          in
           let rec go j =
-            j >= i || ((placed.(j) || not equiv.(j).(i)) && go (j + 1))
+            j >= i || ((placed.(j) || not matrix.(j).(i)) && go (j + 1))
           in
           go 0
         in
         let retained w res_index =
-          match ctx.tryc_inv.(w) with
+          match c.tryc_inv.(w) with
           | Some j -> j < res_index
           | None -> false
         in
@@ -386,7 +474,7 @@ let search opts h =
               in
               global_ok
               &&
-              match opts.mode with
+              match c.mode with
               | Plain -> true
               | Du -> (
                   (* Legality in the local serialization: the first retained
@@ -399,18 +487,18 @@ let search opts h =
                         else scan rest
                   in
                   scan stack))
-            ctx.reads.(i)
+            c.reads.(i)
         in
         let exception Found in
         let rec dfs depth =
           incr nodes;
           if !nodes > budget then raise Exhausted;
           if depth = n then raise Found;
-          let key = memo_key opts.mode placed decision stacks in
+          let key = memo_key c.mode placed decision stacks n in
           if Hashtbl.mem memo key then incr memo_hits
           else begin
             let commit_allowed i =
-              List.for_all (fun a -> placed.(a)) ctx.commit_preds.(i)
+              List.for_all (fun a -> placed.(a)) commit_preds.(i)
             in
             Array.iter
               (fun i ->
@@ -430,7 +518,7 @@ let search opts h =
                           succs.(i);
                         List.iter
                           (fun k -> waiting.(k) <- waiting.(k) - 1)
-                          demands.(i);
+                          c.demands.(i);
                         if not commit then
                           List.iter
                             (fun k -> avail.(k) <- avail.(k) - 1)
@@ -447,8 +535,8 @@ let search opts h =
                                     | Some k -> avail.(k) <- avail.(k) - 1
                                     | None -> ()
                                 end)
-                              ctx.final_writes.(i);
-                            ctx.final_writes.(i)
+                              c.final_writes.(i);
+                            c.final_writes.(i)
                           end
                           else []
                         in
@@ -469,6 +557,7 @@ let search opts h =
                           else List.for_all key_ok supplies.(i)
                         in
                         if feasible then dfs (depth + 1);
+                        branched := true;
                         List.iter
                           (fun (x, v) ->
                             (match stacks.(x) with
@@ -488,12 +577,12 @@ let search opts h =
                             supplies.(i);
                         List.iter
                           (fun k -> waiting.(k) <- waiting.(k) + 1)
-                          demands.(i);
+                          c.demands.(i);
                         List.iter (fun b -> pending.(b) <- pending.(b) + 1)
                           succs.(i);
                         placed.(i) <- false
                       end)
-                    ctx.choices.(i))
+                    c.choices.(i))
               priority;
             Hashtbl.replace memo key ()
           end
@@ -505,19 +594,26 @@ let search opts h =
                 (Fmt.str "no serialization exists (%d nodes explored)" !nodes)
           | exception Found ->
               let order_ids =
-                Array.to_list (Array.map (fun i -> ctx.ids.(i)) order)
+                Array.to_list (Array.map (fun i -> c.ids.(i)) order)
               in
               let committed =
                 Array.to_list order
                 |> List.filter (fun i -> decision.(i))
-                |> List.map (fun i -> ctx.ids.(i))
+                |> List.map (fun i -> c.ids.(i))
               in
-              Verdict.Sat
-                (Serialization.make ~order:order_ids ~committed)
+              Verdict.Sat (Serialization.make ~order:order_ids ~committed)
           | exception Exhausted ->
               Verdict.Unknown
                 (Fmt.str "node budget exhausted after %d nodes" !nodes)
         in
         (outcome, { nodes = !nodes; memo_hits = !memo_hits; prefiltered = false })
+
+let search_ictx ?max_nodes ?hint c h =
+  sync c h;
+  run c ~max_nodes ~hint ~extra_edges:c.extra_edges
+    ~commit_edges:c.commit_edges h
+
+let search opts h =
+  search_ictx ?max_nodes:opts.max_nodes ?hint:opts.hint (ictx opts) h
 
 let serialize opts h = fst (search opts h)

@@ -20,8 +20,9 @@
     most negative instances, placement candidates ordered by first event in
     [H] (recorded histories are nearly serial, so this hint usually hits on
     the first descent), failure memoisation keyed on the placed set and the
-    visible write state, and an optional node budget that turns the verdict
-    into [Unknown] instead of running unbounded. *)
+    visible write state, a symmetry reduction built lazily on first
+    backtrack, and an optional node budget that turns the verdict into
+    [Unknown] instead of running unbounded. *)
 
 type mode = Plain | Du
 
@@ -57,3 +58,28 @@ val search : options -> History.t -> Verdict.t * stats
 
 val serialize : options -> History.t -> Verdict.t
 (** [search] without the statistics. *)
+
+(** {1 Incremental searching}
+
+    An online monitor extends one history forever and searches it
+    occasionally.  Rebuilding the per-transaction tables for every search
+    would make each one Ω(events); an {!ictx} instead accumulates them
+    across calls — dense arrays grown amortised, transaction/variable/key
+    interning kept alive, real-time edges derived once at each transaction's
+    birth — so a search over an extension pays only for the events appended
+    since the previous call (plus the search proper). *)
+
+type ictx
+(** A persistent search context.  Mutable; not thread-safe. *)
+
+val ictx : options -> ictx
+(** Fresh context capturing [mode], [respect_rt] and the edge constraints
+    from [options] ([max_nodes] and [hint] are per-search, see
+    {!search_ictx}). *)
+
+val search_ictx :
+  ?max_nodes:int -> ?hint:Event.tx list -> ictx -> History.t -> Verdict.t * stats
+(** [search_ictx c h] syncs [c] with [h] and searches.  Successive calls on
+    the same context must pass successive {e extensions} of the same
+    history (as produced by {!History.extend}); the context consumes only
+    the new events.  [search opts h] is [search_ictx (ictx opts) h]. *)

@@ -216,6 +216,15 @@ let prefix h i =
   if i < 0 || i > h.len then invalid_arg "History.prefix: bad length";
   if i = h.len then h else { buf = h.buf; len = i; summary = None }
 
+let is_prefix h ~of_:g =
+  h.len <= g.len
+  && (h.buf == g.buf
+     ||
+     let rec go i =
+       i >= h.len || (Event.equal h.buf.arr.(i) g.buf.arr.(i) && go (i + 1))
+     in
+     go 0)
+
 let extend h ev =
   match step (summary h) h.len ev with
   | Error _ as e -> e

@@ -94,6 +94,12 @@ val extend : t -> Event.t -> (t, error) result
 (** Append one event, revalidating incrementally.  Amortised O(1); used by
     the online monitor. *)
 
+val is_prefix : t -> of_:t -> bool
+(** [is_prefix h ~of_:g] — the events of [h] are the first [length h]
+    events of [g].  O(1) when the two share storage (one was produced from
+    the other by {!prefix} or {!extend}); a single traversal of [h]
+    otherwise — never materialises event lists. *)
+
 val project : t -> keep:(Event.tx -> bool) -> t
 (** Subsequence of events of the kept transactions (used e.g. to restrict a
     history to its committed transactions for serializability checking). *)

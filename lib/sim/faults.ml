@@ -2,12 +2,20 @@ include Tm_stm.Faults
 
 type outcome = [ `Ok | `Violation of string | `Budget of string ]
 
+type monitor_stats = {
+  responses : int;
+  fastpath_hits : int;
+  searches : int;
+  nodes : int;
+}
+
 type report = {
   seed : int;
   spec : Tm_stm.Faults.spec;
   history : History.t;
   stats : Tm_stm.Harness.stats;
   outcome : outcome option;
+  monitor : monitor_stats option;
   commit_pending : int;
   incomplete : int;
 }
@@ -20,15 +28,23 @@ let run_one ?(max_nodes = 2_000_000) ?(check = true) ?retry ~stm ~params ~spec
     ~seed () =
   let r = Runner.run ?retry ~faults:spec ~stm ~params ~seed () in
   let h = r.Runner.history in
-  let outcome =
-    if not check then None
+  let outcome, monitor =
+    if not check then (None, None)
     else
       (* The monitor replays the history event by event, so an [`Ok] is a
          du-opacity verdict for the history AND every one of its prefixes —
          exactly the prefix-closure obligation (Corollary 2) restated as a
          campaign invariant. *)
       let m = Tm_checker.Monitor.create ~max_nodes () in
-      Some (Tm_checker.Monitor.push_all m (History.to_list h))
+      let o = Tm_checker.Monitor.push_all m (History.to_list h) in
+      ( Some o,
+        Some
+          {
+            responses = Tm_checker.Monitor.responses_seen m;
+            fastpath_hits = Tm_checker.Monitor.fastpath_hits m;
+            searches = Tm_checker.Monitor.searches_run m;
+            nodes = Tm_checker.Monitor.nodes_total m;
+          } )
   in
   let infos = History.infos h in
   {
@@ -37,6 +53,7 @@ let run_one ?(max_nodes = 2_000_000) ?(check = true) ?retry ~stm ~params ~spec
     history = h;
     stats = r.Runner.stats;
     outcome;
+    monitor;
     commit_pending = List.length (History.commit_pending h);
     incomplete =
       List.length (List.filter (fun t -> not (Txn.is_t_complete t)) infos);

@@ -20,12 +20,24 @@ type outcome = [ `Ok | `Violation of string | `Budget of string ]
     the history and every prefix is du-opaque; [`Budget] means a search
     exhausted [max_nodes] (never a hang, never a false verdict). *)
 
+type monitor_stats = {
+  responses : int;  (** response events the monitor handled *)
+  fastpath_hits : int;
+      (** responses absorbed by certificate revalidation, no search *)
+  searches : int;  (** backtracking searches run *)
+  nodes : int;  (** total search nodes across the stream *)
+}
+(** How the online monitor spent its time over one recorded history —
+    [fastpath_hits / responses] is the revalidation hit rate reported by
+    [tm chaos]. *)
+
 type report = {
   seed : int;
   spec : Tm_stm.Faults.spec;  (** the plan that was injected *)
   history : History.t;  (** the recorded (possibly incomplete) history *)
   stats : Tm_stm.Harness.stats;
   outcome : outcome option;  (** [None] when checking was disabled *)
+  monitor : monitor_stats option;  (** [None] when checking was disabled *)
   commit_pending : int;  (** transactions left with a pending [tryC] *)
   incomplete : int;  (** transactions that never became t-complete *)
 }

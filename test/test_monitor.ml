@@ -70,8 +70,13 @@ let test_matches_offline () =
     Figures.catalog
 
 let test_budget () =
+  (* The revalidation fast path absorbs everything it can, so the budget
+     needs a response that forces a search: a read from a commit-pending
+     writer makes the engine reorder/flip decisions, which one node cannot
+     finish. *)
+  let h = Dsl.(history [ w 1 x 1; c_inv 1; r 2 x 1 ]) in
   let m = Monitor.create ~max_nodes:1 () in
-  match Monitor.push_all m (History.to_list Figures.fig1) with
+  match Monitor.push_all m (History.to_list h) with
   | `Budget _ -> ()
   | `Ok -> Alcotest.fail "expected budget exhaustion"
   | `Violation why -> Alcotest.failf "budget must not report violation: %s" why
@@ -118,6 +123,48 @@ let test_incremental_efficiency () =
     true
     (nodes <= searches * (txns + 2))
 
+let test_long_stream_fastpath () =
+  (* On a recorded TL2 stream of >= 2000 events the certificate-revalidation
+     fast path must absorb at least 90% of response events, keeping total
+     search work and wall time bounded (the pre-fast-path monitor ran one
+     full search per response — Θ(events) searches, unbounded here). *)
+  let params =
+    {
+      Stm.Workload.default with
+      n_threads = 3;
+      txns_per_thread = 90;
+      ops_per_txn = 3;
+      n_vars = 6;
+    }
+  in
+  let h = (Sim.Runner.run ~stm:"tl2" ~params ~seed:42 ()).Sim.Runner.history in
+  let events = History.to_list h in
+  let n = List.length events in
+  Alcotest.(check bool)
+    (Fmt.str "stream long enough (%d events)" n)
+    true (n >= 2000);
+  let t0 = Stm.Clock.now () in
+  let m = Monitor.create () in
+  (match Monitor.push_all m events with
+  | `Ok -> ()
+  | `Violation why -> Alcotest.failf "violation: %s" why
+  | `Budget why -> Alcotest.failf "budget: %s" why);
+  let elapsed = Stm.Clock.now () -. t0 in
+  let responses = Monitor.responses_seen m in
+  let hits = Monitor.fastpath_hits m in
+  let rate = float_of_int hits /. float_of_int (max 1 responses) in
+  Alcotest.(check bool)
+    (Fmt.str "fast-path hit rate >= 0.9 (%d/%d = %.3f)" hits responses rate)
+    true (rate >= 0.9);
+  Alcotest.(check bool)
+    (Fmt.str "nodes bounded (%d nodes over %d events)" (Monitor.nodes_total m)
+       n)
+    true
+    (Monitor.nodes_total m <= 50 * n);
+  Alcotest.(check bool)
+    (Fmt.str "wall time bounded (%.3fs)" elapsed)
+    true (elapsed < 10.)
+
 let suite =
   [
     ( "monitor",
@@ -131,5 +178,6 @@ let suite =
         test "accepts a permanently commit-pending stream"
           test_commit_pending_stream;
         test "incremental efficiency" test_incremental_efficiency;
+        test "long TL2 stream rides the fast path" test_long_stream_fastpath;
       ] );
   ]

@@ -252,6 +252,53 @@ let prop_monitor_offline =
       | `Ok, Some _ | `Violation _, None -> false
       | `Budget _, _ -> QCheck2.assume_fail ())
 
+(* The same agreement, hammered harder: 1000 iterations over a blend of
+   random histories and fault-injected simulator runs (crashes, stalls,
+   spurious aborts, omission), so the revalidation fast path is exercised
+   against genuinely incomplete streams — commit-pending zombies and
+   invocations pending forever — not just generator output. *)
+
+let prop_monitor_equiv_offline =
+  let fault_params =
+    {
+      Stm.Workload.default with
+      n_threads = 3;
+      txns_per_thread = 3;
+      ops_per_txn = 2;
+      n_vars = 3;
+    }
+  in
+  let faulted =
+    QCheck2.Gen.map
+      (fun seed ->
+        let spec =
+          Sim.Faults.sample
+            ~n_threads:fault_params.Stm.Workload.n_threads
+            ~horizon:(Sim.Faults.horizon fault_params)
+            ~seed ()
+        in
+        (Sim.Faults.run_one ~check:false ~stm:"tl2" ~params:fault_params
+           ~spec ~seed ())
+          .Sim.Faults.history)
+      QCheck2.Gen.(0 -- 1_000_000)
+  in
+  qtest ~count:1000 "monitor = offline (random + fault-injected, 1000x)"
+    (QCheck2.Gen.bind QCheck2.Gen.bool (fun use_faults ->
+         if use_faults then faulted else mixed))
+    (fun h ->
+      let m = Monitor.create ?max_nodes:budget () in
+      let outcome = Monitor.push_all m (History.to_list h) in
+      let offline_first_bad =
+        List.find_opt
+          (fun i -> not (sat "p" (du (History.prefix h i))))
+          (History.response_indices h)
+      in
+      match (outcome, offline_first_bad) with
+      | `Ok, None -> true
+      | `Violation _, Some i -> Monitor.violation_index m = Some i
+      | `Ok, Some _ | `Violation _, None -> false
+      | `Budget _, _ -> QCheck2.assume_fail ())
+
 (* --- Structural properties of the generator and the text format --- *)
 
 let prop_roundtrip =
@@ -302,6 +349,7 @@ let suite =
         prop_lemma4;
         prop_completions;
         prop_monitor_offline;
+        prop_monitor_equiv_offline;
         prop_roundtrip;
         prop_unique_writes_generator;
         prop_prefix_structure;
