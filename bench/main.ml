@@ -630,6 +630,241 @@ let bench_monitor () =
        revalidation; speedup grows with stream length.@."
   end
 
+(* --- Section: service --------------------------------------------------- *)
+
+(* Load generator for [tm serve]: N client threads replaying recorded
+   TL2/NOrec/fault-injected streams against a server (in-process unless
+   --socket points at an external one), reporting aggregate events/s,
+   checkpoint round-trip percentiles, and per-domain monitor fast-path
+   hit rates.  Every close_session verdict is compared against the
+   offline monitor's outcome on the same stream. *)
+
+let opt_service_duration = ref 3.0
+let opt_service_sessions = ref 4
+let opt_service_domains = ref 4
+let opt_service_socket : string option ref = ref None
+
+type service_stream = {
+  ss_name : string;
+  ss_events : Event.t list;
+  ss_len : int;
+  ss_expected : Service.Protocol.status;  (* offline monitor ground truth *)
+}
+
+let service_stream name events =
+  let m = Monitor.create () in
+  let expected =
+    match Monitor.push_all m events with
+    | `Ok -> Service.Protocol.S_ok
+    | `Violation why -> Service.Protocol.S_violation why
+    | `Budget why -> Service.Protocol.S_budget why
+  in
+  { ss_name = name; ss_events = events; ss_len = List.length events;
+    ss_expected = expected }
+
+let service_streams () =
+  let recorded stm seed =
+    service_stream
+      (Fmt.str "%s/seed%d" stm seed)
+      (History.to_list (stm_history ~stm ~txns:60 ~seed))
+  in
+  let faulted stm seed =
+    let params =
+      {
+        Stm.Workload.default with
+        n_threads = 3;
+        txns_per_thread = 20;
+        ops_per_txn = 3;
+        n_vars = 4;
+      }
+    in
+    let spec =
+      Sim.Faults.sample ~n_threads:params.Stm.Workload.n_threads
+        ~horizon:(Sim.Faults.horizon params) ~seed ()
+    in
+    let r = Sim.Faults.run_one ~check:false ~stm ~params ~spec ~seed () in
+    service_stream
+      (Fmt.str "%s-fault/seed%d" stm seed)
+      (History.to_list r.Sim.Faults.history)
+  in
+  [ recorded "tl2" 11; recorded "norec" 12; recorded "tl2" 13;
+    faulted "norec" 7 ]
+
+type service_worker = {
+  sw_stream : service_stream;
+  mutable sw_events : int;  (* events sent *)
+  mutable sw_replays : int;
+  mutable sw_mismatches : int;
+  mutable sw_latencies : float list;  (* checkpoint round-trips, seconds *)
+  mutable sw_error : string option;
+}
+
+let service_worker_run addr deadline w =
+  let c = Service.Client.connect addr in
+  let sid = ref 0 in
+  (try
+     while Stm.Clock.now () < deadline do
+       incr sid;
+       Service.Client.open_session c !sid;
+       Service.Client.send_events c !sid w.sw_stream.ss_events;
+       let t0 = Stm.Clock.now () in
+       ignore (Service.Client.checkpoint c !sid);
+       w.sw_latencies <- (Stm.Clock.now () -. t0) :: w.sw_latencies;
+       let fin = Service.Client.close_session c !sid in
+       if fin.Service.Protocol.status <> w.sw_stream.ss_expected then
+         w.sw_mismatches <- w.sw_mismatches + 1;
+       w.sw_events <- w.sw_events + w.sw_stream.ss_len;
+       w.sw_replays <- w.sw_replays + 1
+     done
+   with e -> w.sw_error <- Some (Printexc.to_string e));
+  try Service.Client.close c with _ -> ()
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> nan
+  | n ->
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+
+let domain_hit_rate (d : Service.Protocol.domain_stats) =
+  if d.responses = 0 then 0.
+  else float_of_int d.fastpath_hits /. float_of_int d.responses
+
+let service_json ~endpoint ~wall ~sessions workers stats =
+  let events = List.fold_left (fun a w -> a + w.sw_events) 0 workers in
+  let replays = List.fold_left (fun a w -> a + w.sw_replays) 0 workers in
+  let mismatches =
+    List.fold_left (fun a w -> a + w.sw_mismatches) 0 workers
+  in
+  let lat =
+    List.concat_map (fun w -> w.sw_latencies) workers
+    |> List.sort compare |> Array.of_list
+  in
+  let domain_json (d : Service.Protocol.domain_stats) =
+    Fmt.str
+      {|    {"live": %d, "closed": %d, "events": %d, "responses": %d,
+     "fastpath_hits": %d, "hit_rate": %.4f, "searches": %d, "nodes": %d}|}
+      d.live_sessions d.closed_sessions d.events d.responses d.fastpath_hits
+      (domain_hit_rate d) d.searches d.nodes
+  in
+  Fmt.pr
+    {|{"benchmark": "service", "unit": "events_per_s",
+ "endpoint": %S, "duration_s": %.3f, "sessions": %d, "domains": %d,
+ "events_sent": %d, "replays": %d, "events_per_s": %.1f,
+ "checkpoint_latency_ms": {"p50": %.3f, "p99": %.3f, "samples": %d},
+ "verdict_mismatches": %d,
+ "per_domain": [
+%s
+ ]}@.|}
+    endpoint wall sessions (List.length stats) events replays
+    (if wall <= 0. then 0. else float_of_int events /. wall)
+    (percentile lat 50. *. 1e3)
+    (percentile lat 99. *. 1e3)
+    (Array.length lat) mismatches
+    (String.concat ",\n" (List.map domain_json stats))
+
+let bench_service () =
+  let external_server = !opt_service_socket <> None in
+  let server, addr =
+    match !opt_service_socket with
+    | Some path -> (None, `Unix path)
+    | None ->
+        let cfg =
+          Service.Server.config ~domains:!opt_service_domains
+            (`Tcp ("127.0.0.1", 0))
+        in
+        let srv = Service.Server.start cfg in
+        (Some srv, Service.Server.bound_addr srv)
+  in
+  let endpoint = Fmt.str "%a" Service.Wire.pp_addr addr in
+  let streams = service_streams () in
+  let n_streams = List.length streams in
+  let sessions = max 1 !opt_service_sessions in
+  let workers =
+    List.init sessions (fun i ->
+        {
+          sw_stream = List.nth streams (i mod n_streams);
+          sw_events = 0;
+          sw_replays = 0;
+          sw_mismatches = 0;
+          sw_latencies = [];
+          sw_error = None;
+        })
+  in
+  let t0 = Stm.Clock.now () in
+  let deadline = t0 +. !opt_service_duration in
+  let threads =
+    List.map (fun w -> Thread.create (service_worker_run addr deadline) w)
+      workers
+  in
+  List.iter Thread.join threads;
+  let wall = Stm.Clock.now () -. t0 in
+  let stats =
+    let c = Service.Client.connect addr in
+    let s = Service.Client.stats c in
+    Service.Client.close c;
+    s
+  in
+  Option.iter Service.Server.stop server;
+  List.iter
+    (fun w ->
+      match w.sw_error with
+      | Some e ->
+          Fmt.epr "service worker (%s): %s@." w.sw_stream.ss_name e
+      | None -> ())
+    workers;
+  if !json_mode then service_json ~endpoint ~wall ~sessions workers stats
+  else begin
+    section_header
+      (Fmt.str
+         "service — [tm serve] under load (%s%s, %d sessions, %.1fs)"
+         endpoint
+         (if external_server then ", external" else "")
+         sessions !opt_service_duration);
+    let events = List.fold_left (fun a w -> a + w.sw_events) 0 workers in
+    let replays = List.fold_left (fun a w -> a + w.sw_replays) 0 workers in
+    let mismatches =
+      List.fold_left (fun a w -> a + w.sw_mismatches) 0 workers
+    in
+    Fmt.pr "  %-22s %8s %8s %10s@." "stream" "replays" "events"
+      "mismatches";
+    List.iter
+      (fun w ->
+        Fmt.pr "  %-22s %8d %8d %10d@." w.sw_stream.ss_name w.sw_replays
+          w.sw_events w.sw_mismatches)
+      workers;
+    let lat =
+      List.concat_map (fun w -> w.sw_latencies) workers
+      |> List.sort compare |> Array.of_list
+    in
+    Fmt.pr
+      "  aggregate: %d events in %.2fs = %.0f events/s; checkpoint RTT \
+       p50 %.3fms p99 %.3fms (%d samples)@."
+      events wall
+      (if wall <= 0. then 0. else float_of_int events /. wall)
+      (percentile lat 50. *. 1e3)
+      (percentile lat 99. *. 1e3)
+      (Array.length lat);
+    Fmt.pr "  per-domain shards:@.";
+    List.iteri
+      (fun i (d : Service.Protocol.domain_stats) ->
+        Fmt.pr
+          "    domain %d: %d live / %d closed sessions, %d events, \
+           hit-rate %.1f%% (%d searches, %d nodes)@."
+          i d.live_sessions d.closed_sessions d.events
+          (100. *. domain_hit_rate d)
+          d.searches d.nodes)
+      stats;
+    Fmt.pr "  => %s@."
+      (if mismatches = 0 then
+         "every close_session verdict matches the offline monitor"
+       else Fmt.str "%d VERDICT MISMATCHES — investigate" mismatches);
+    Fmt.pr "  (%d replays across %d sessions; server verdicts are the \
+            online monitor's, so status ok certifies every prefix \
+            du-opaque.)@."
+      replays sessions
+  end
+
 (* --- main ---------------------------------------------------------------- *)
 
 let sections =
@@ -644,17 +879,50 @@ let sections =
     ("stm-throughput", bench_stm_throughput);
     ("abort-rate", bench_abort_rate);
     ("monitor", bench_monitor);
+    ("service", bench_service);
   ]
 
 let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  json_mode := List.mem "--json" args;
+  let opt_value flag conv store rest =
+    match rest with
+    | v :: rest -> (
+        (try store (conv v)
+         with _ ->
+           Fmt.epr "bench: bad value %S for %s@." v flag;
+           exit 1);
+        rest)
+    | [] ->
+        Fmt.epr "bench: %s needs a value@." flag;
+        exit 1
+  in
+  let rec parse = function
+    | [] -> []
+    | "--json" :: rest ->
+        json_mode := true;
+        parse rest
+    | "--duration" :: rest ->
+        parse (opt_value "--duration" float_of_string
+                 (fun v -> opt_service_duration := v) rest)
+    | "--sessions" :: rest ->
+        parse (opt_value "--sessions" int_of_string
+                 (fun v -> opt_service_sessions := v) rest)
+    | "--domains" :: rest ->
+        parse (opt_value "--domains" int_of_string
+                 (fun v -> opt_service_domains := v) rest)
+    | "--socket" :: rest ->
+        parse (opt_value "--socket" (fun s -> s)
+                 (fun v -> opt_service_socket := Some v) rest)
+    | a :: rest -> a :: parse rest
+  in
   let requested =
-    match List.filter (fun a -> a <> "--json") args with
+    match parse args with
     | _ :: _ as names -> names
-    | [] -> List.map fst sections
+    | [] ->
+        (* "service" needs a live socket budget; run it only on request. *)
+        List.filter (fun n -> n <> "service") (List.map fst sections)
   in
   List.iter
     (fun name ->

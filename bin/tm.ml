@@ -4,10 +4,13 @@
      tm gen --txns 8 --seed 3 | tm check - --property all
      tm run --stm tl2 --threads 3 --check
      tm monitor history.txt
+     tm serve --unix /tmp/tm.sock --domains 4
+     tm submit history.txt --unix /tmp/tm.sock
      tm figures
 
    Histories use the textual format of {!Tm_safety.Parse} (see
-   [tm check --help]). *)
+   [tm check --help]) or the binary format of {!Tm_safety.Service.Codec}
+   (auto-detected by its magic). *)
 
 open Tm_safety
 open Cmdliner
@@ -31,9 +34,15 @@ let read_input = function
       s
 
 let history_of_input input =
-  match Parse.of_string (read_input input) with
-  | Ok h -> Ok h
-  | Error msg -> Error (`Msg ("cannot parse history: " ^ msg))
+  let text = read_input input in
+  if Service.Codec.looks_binary text then
+    match Service.Codec.history_of_string text with
+    | Ok h -> Ok h
+    | Error msg -> Error (`Msg ("cannot decode binary history: " ^ msg))
+  else
+    match Parse.of_string text with
+    | Ok h -> Ok h
+    | Error msg -> Error (`Msg ("cannot parse history: " ^ msg))
 
 let input_arg =
   let doc = "History file in the tm text format; $(b,-) reads stdin." in
@@ -451,6 +460,147 @@ let monitor_cmd =
     (Cmd.info "monitor" ~doc:"Stream a history through the online du-opacity monitor")
     Term.(const run $ input_arg $ max_nodes_arg)
 
+(* --- tm serve / tm submit ------------------------------------------------ *)
+
+let addr_of ~unix_path ~tcp : (Service.Wire.addr, [ `Msg of string ]) result =
+  match unix_path, tcp with
+  | Some _, Some _ -> Error (`Msg "--unix and --tcp are mutually exclusive")
+  | Some path, None -> Ok (`Unix path)
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p -> Ok (`Tcp ((if host = "" then "127.0.0.1" else host), p))
+          | None -> Error (`Msg ("cannot parse port in --tcp " ^ spec)))
+      | None -> (
+          match int_of_string_opt spec with
+          | Some p -> Ok (`Tcp ("127.0.0.1", p))
+          | None -> Error (`Msg ("cannot parse --tcp " ^ spec))))
+  | None, None -> Error (`Msg "an endpoint is required: --unix PATH or --tcp [HOST:]PORT")
+
+let unix_arg =
+  let doc = "Serve on (connect to) a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Serve on (connect to) a TCP endpoint $(docv) (default host 127.0.0.1)." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"[HOST:]PORT" ~doc)
+
+let serve_cmd =
+  let domains_arg =
+    let doc = "Shard pool size: sessions are sharded across $(docv) OCaml domains." in
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Bounded work-queue capacity per domain (backpressure)." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the per-connection event log.")
+  in
+  let run unix_path tcp domains queue max_nodes quiet =
+    match addr_of ~unix_path ~tcp with
+    | Error (`Msg m) ->
+        Fmt.epr "tm serve: %s@." m;
+        3
+    | Ok addr -> (
+        let log =
+          if quiet then ignore else fun msg -> Fmt.epr "tm serve: %s@." msg
+        in
+        match
+          Service.Server.start
+            (Service.Server.config ~domains ?max_nodes ~queue_capacity:queue
+               ~log addr)
+        with
+        | exception Unix.Unix_error (e, _, arg) ->
+            Fmt.epr "tm serve: cannot listen on %a: %s %s@."
+              Service.Wire.pp_addr addr (Unix.error_message e) arg;
+            3
+        | srv ->
+            Fmt.pr "tm serve: listening on %a (%d domains, queue %d)@."
+              Service.Wire.pp_addr
+              (Service.Server.bound_addr srv)
+              domains queue;
+            let stop _ =
+              Service.Server.stop srv;
+              exit 0
+            in
+            (try
+               Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+               Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+             with Invalid_argument _ | Sys_error _ -> ());
+            while true do
+              Unix.sleep 3600
+            done;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming du-opacity checking service (binary wire \
+          protocol, one online monitor per session, sessions sharded \
+          across a domain pool)")
+    Term.(
+      const run $ unix_arg $ tcp_arg $ domains_arg $ queue_arg $ max_nodes_arg
+      $ quiet_arg)
+
+let submit_cmd =
+  let session_arg =
+    let doc = "Client-side session identifier." in
+    Arg.(value & opt int 1 & info [ "session" ] ~docv:"N" ~doc)
+  in
+  let chunk_arg =
+    let doc = "Events per frame when streaming." in
+    Arg.(value & opt int 512 & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let run input unix_path tcp session chunk =
+    match addr_of ~unix_path ~tcp with
+    | Error (`Msg m) ->
+        Fmt.epr "tm submit: %s@." m;
+        3
+    | Ok addr -> (
+        match history_of_input input with
+        | Error (`Msg m) ->
+            Fmt.epr "tm submit: %s@." m;
+            3
+        | Ok h -> (
+            match Service.Client.connect addr with
+            | exception Unix.Unix_error (e, _, _) ->
+                Fmt.epr "tm submit: cannot connect to %a: %s@."
+                  Service.Wire.pp_addr addr (Unix.error_message e);
+                3
+            | client -> (
+                let finish code =
+                  Service.Client.close client;
+                  code
+                in
+                match Service.Client.submit ~session ~chunk client h with
+                | exception Service.Client.Server_error m ->
+                    Fmt.epr "tm submit: server error: %s@." m;
+                    finish 3
+                | v -> (
+                    match v.Service.Protocol.status with
+                    | Service.Protocol.S_ok ->
+                        Fmt.pr
+                          "ok: every prefix (%d events) is du-opaque@."
+                          v.Service.Protocol.events;
+                        finish 0
+                    | Service.Protocol.S_violation why ->
+                        Fmt.pr "VIOLATION: %s@." why;
+                        finish 1
+                    | Service.Protocol.S_budget why ->
+                        Fmt.pr "unknown: %s@." why;
+                        finish 2))))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Stream a history into a running tm serve instance and print the \
+          final verdict (same judgement and exit codes as tm monitor)")
+    Term.(const run $ input_arg $ unix_arg $ tcp_arg $ session_arg $ chunk_arg)
+
 (* --- tm figures ---------------------------------------------------------- *)
 
 let figures_cmd =
@@ -474,4 +624,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; gen_cmd; run_cmd; chaos_cmd; monitor_cmd; figures_cmd ]))
+          [
+            check_cmd; gen_cmd; run_cmd; chaos_cmd; monitor_cmd; serve_cmd;
+            submit_cmd; figures_cmd;
+          ]))

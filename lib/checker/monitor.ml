@@ -303,3 +303,24 @@ let responses_seen m = m.responses_seen
 let fastpath_hits m = m.fastpath_hits
 let searches_run m = m.searches_run
 let nodes_total m = m.nodes_total
+
+type snapshot = {
+  events : int;
+  responses : int;
+  fastpath_hits : int;
+  searches : int;
+  nodes : int;
+  pending : int;
+}
+
+let snapshot (m : t) =
+  {
+    events = m.events_seen;
+    responses = m.responses_seen;
+    fastpath_hits = m.fastpath_hits;
+    searches = m.searches_run;
+    nodes = m.nodes_total;
+    pending = pending_txns m;
+  }
+
+let status (m : t) = match m.failed with Some o -> o | None -> `Ok

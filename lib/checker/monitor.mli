@@ -74,3 +74,22 @@ val fastpath_hits : t -> int
 
 val searches_run : t -> int
 val nodes_total : t -> int
+
+type snapshot = {
+  events : int;  (** {!events_seen} *)
+  responses : int;  (** {!responses_seen} *)
+  fastpath_hits : int;
+  searches : int;
+  nodes : int;
+  pending : int;  (** {!pending_txns} at snapshot time *)
+}
+(** One coherent view of the counters above, cheap enough to take per batch
+    of pushed events.  The streaming service diffs successive snapshots to
+    account monitor work to its per-domain shard counters. *)
+
+val snapshot : t -> snapshot
+
+val status : t -> outcome
+(** The outcome the next {!push} would return before ingesting anything:
+    [`Ok] while every accepted prefix is du-opaque, otherwise the sticky
+    [`Violation]/[`Budget] already reported. *)

@@ -84,3 +84,14 @@ module Sim = struct
   (** Fault plans and campaigns (re-exports {!Tm_stm.Faults} plus the
       campaign layer). *)
 end
+
+(** {1 The streaming checking service ([tm serve])} *)
+
+module Service = struct
+  module Codec = Tm_service.Codec
+  module Protocol = Tm_service.Protocol
+  module Wire = Tm_service.Wire
+  module Mailbox = Tm_service.Mailbox
+  module Server = Tm_service.Server
+  module Client = Tm_service.Client
+end

@@ -133,6 +133,24 @@ let of_events_exn events =
   | Ok h -> h
   | Error e -> Fmt.invalid_arg "History.of_events_exn: %a" pp_error e
 
+let of_events_prefix events =
+  let arr = Array.of_list events in
+  let len = Array.length arr in
+  match compute_summary arr len with
+  | Ok s -> ({ buf = { arr; used = len }; len; summary = Some s }, [])
+  | Error e ->
+      (* Validation is a left-to-right fold of [step], so the first failure
+         at index [i] certifies the prefix of length [i] well-formed; one
+         truncation therefore always succeeds. *)
+      let keep = e.index in
+      let prefix = Array.sub arr 0 keep in
+      let tail = Array.to_list (Array.sub arr keep (len - keep)) in
+      (match compute_summary prefix keep with
+      | Ok s -> ({ buf = { arr = prefix; used = keep }; len = keep; summary = Some s }, tail)
+      | Error e ->
+          Fmt.invalid_arg "History.of_events_prefix: prefix ill-formed: %a"
+            pp_error e)
+
 let empty = { buf = { arr = [||]; used = 0 }; len = 0; summary = Some empty_summary }
 
 let length h = h.len

@@ -31,6 +31,14 @@ val of_events : Event.t list -> (t, error) result
 val of_events_exn : Event.t list -> t
 (** @raise Invalid_argument on ill-formed input. *)
 
+val of_events_prefix : Event.t list -> t * Event.t list
+(** [of_events_prefix events] is the longest well-formed prefix of [events]
+    together with the dropped tail (empty when the whole input is
+    well-formed).  Recovery entry point for event streams whose recording
+    was cut mid-operation — a crashed domain that died between appending an
+    invocation and its response can leave a torn tail that would make
+    {!of_events} fail outright. *)
+
 val empty : t
 
 (** {1 Accessors} *)

@@ -1,8 +1,12 @@
 open Event
 
-exception Parse_error of string
+type position = { line : int; token : int }
 
-let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of position option * string
+
+let pp_position ppf p = Fmt.pf ppf "line %d, token %d" p.line p.token
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error (None, s))) fmt
 
 (* A tiny cursor over one token. *)
 type cursor = { tok : string; mutable pos : int }
@@ -156,18 +160,30 @@ let strip_comments line =
   | Some i -> String.sub line 0 i
   | None -> line
 
+(* Tokens tagged with their source position: [line] is 1-based, [token] is
+   the 1-based index of the token within its line.  The positions survive
+   into {!Parse_error} so a reported failure points at the offending token
+   rather than only quoting it. *)
 let tokenize text =
   String.split_on_char '\n' text
-  |> List.concat_map (fun line ->
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.concat_map (fun (lineno, line) ->
          strip_comments line
          |> String.split_on_char ' '
          |> List.concat_map (String.split_on_char '\t')
          |> List.concat_map (String.split_on_char '\r')
-         |> List.filter (fun s -> s <> ""))
+         |> List.filter (fun s -> s <> "")
+         |> List.mapi (fun j tok -> ({ line = lineno; token = j + 1 }, tok)))
+
+let parse_token_at (pos, tok) =
+  try parse_token tok
+  with Parse_error (_, msg) -> raise (Parse_error (Some pos, msg))
 
 let of_string text =
-  match List.concat_map parse_token (tokenize text) with
-  | exception Parse_error msg -> Error msg
+  match List.concat_map parse_token_at (tokenize text) with
+  | exception Parse_error (Some pos, msg) ->
+      Error (Fmt.str "%a: %s" pp_position pos msg)
+  | exception Parse_error (None, msg) -> Error msg
   | events -> (
       match History.of_events events with
       | Ok h -> Ok h

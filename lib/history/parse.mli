@@ -16,6 +16,22 @@
     [to_text] inverts [of_string]: it prints an operation compactly when its
     two events are adjacent in the history and splits it otherwise. *)
 
+type position = { line : int; token : int }
+(** Source position of a token: 1-based line number and 1-based token index
+    within that line. *)
+
+exception Parse_error of position option * string
+(** Raised by the internal token parsers; the position is attached at the
+    tokenizer layer, so it is [Some] whenever the failing token came from
+    {!of_string} input.  [of_string] catches this and formats the position
+    into its error message ([line N, token M: ...]); the streaming
+    service's [Error] frames carry the same message. *)
+
+val pp_position : Format.formatter -> position -> unit
+
 val of_string : string -> (History.t, string) result
+(** Parse-level failures report [line N, token M: reason]; well-formedness
+    failures report the offending event index (see {!History.of_events}). *)
+
 val of_string_exn : string -> History.t
 val to_text : History.t -> string

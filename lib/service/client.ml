@@ -1,0 +1,93 @@
+exception Server_error of string
+
+let error_of = function
+  | Protocol.Err { code; message } ->
+      Server_error (Fmt.str "%a: %s" Protocol.pp_error_code code message)
+  | f -> Server_error (Fmt.str "unexpected frame %a" Protocol.pp_frame f)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_token : int;
+  mutable closed : bool;
+}
+
+let recv_frame t =
+  match Wire.recv t.fd with
+  | Wire.Frame f -> f
+  | Wire.Malformed msg ->
+      raise (Server_error (Fmt.str "malformed server frame: %s" msg))
+
+let connect addr =
+  let fd = Wire.connect addr in
+  let t = { fd; next_token = 1; closed = false } in
+  Wire.send fd (Protocol.Hello { version = Protocol.version });
+  (match recv_frame t with
+  | Protocol.Hello { version } when version >= 1 -> ()
+  | f ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (error_of f));
+  t
+
+let open_session t session =
+  Wire.send t.fd (Protocol.Open_session { session })
+
+let send_events ?(chunk = 512) t session events =
+  let rec go = function
+    | [] -> ()
+    | events ->
+        let rec split n acc rest =
+          match rest with
+          | [] -> (List.rev acc, [])
+          | _ when n = 0 -> (List.rev acc, rest)
+          | ev :: rest -> split (n - 1) (ev :: acc) rest
+        in
+        let batch, rest = split chunk [] events in
+        Wire.send t.fd (Protocol.Events { session; events = batch });
+        go rest
+  in
+  go events
+
+(* Requests and replies are strictly alternating from this client, so the
+   next Verdict frame is ours; Error frames raise. *)
+let rec await_verdict t session token =
+  match recv_frame t with
+  | Protocol.Verdict v
+    when v.Protocol.session = session && v.Protocol.token = token ->
+      v
+  | Protocol.Verdict _ ->
+      (* a stale reply (e.g. a final verdict racing a reap): skip *)
+      await_verdict t session token
+  | f -> raise (error_of f)
+
+let checkpoint t session =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  Wire.send t.fd (Protocol.Checkpoint { session; token });
+  await_verdict t session token
+
+let close_session t session =
+  Wire.send t.fd (Protocol.Close_session { session });
+  await_verdict t session 0
+
+let stats t =
+  Wire.send t.fd Protocol.Stats_req;
+  match recv_frame t with
+  | Protocol.Stats ds -> ds
+  | f -> raise (error_of f)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Wire.send t.fd Protocol.Goodbye
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fd t = t.fd
+
+(* One-shot convenience used by [tm submit]: stream a whole history into a
+   fresh session and return the final verdict. *)
+let submit ?(session = 1) ?chunk t h =
+  open_session t session;
+  send_events ?chunk t session (History.to_list h);
+  close_session t session

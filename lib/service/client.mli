@@ -1,0 +1,47 @@
+(** Client side of the {!Protocol} conversation, used by [tm submit] and
+    the load generator ([bench service]).
+
+    One value of type {!t} is one connection; it is not thread-safe —
+    concurrent load comes from many connections (see [bench/main.ml]).
+    Calls that expect a reply ([checkpoint], [close_session], [stats])
+    block until it arrives. *)
+
+exception Server_error of string
+(** An [Error] frame, an unexpected frame, or a malformed server frame. *)
+
+type t
+
+val connect : Wire.addr -> t
+(** Connect and run the [Hello] handshake.
+    @raise Server_error if the server refuses.
+    @raise Unix.Unix_error if the endpoint is unreachable. *)
+
+val open_session : t -> int -> unit
+(** Session identifiers are client-chosen, scoped to this connection;
+    reuse of a live identifier is answered with a [duplicate-session]
+    error on the next reply-expecting call. *)
+
+val send_events : ?chunk:int -> t -> int -> Event.t list -> unit
+(** Stream events into a session, [chunk] (default 512) per [Events]
+    frame.  Fire-and-forget: verdicts are pulled by {!checkpoint} and
+    {!close_session}. *)
+
+val checkpoint : t -> int -> Protocol.verdict
+(** Round-trip: ask for the session's current verdict.  The verdict covers
+    every event acknowledged so far — status [S_ok] means every prefix of
+    the stream is du-opaque. *)
+
+val close_session : t -> int -> Protocol.verdict
+(** Final verdict; the server forgets the session. *)
+
+val submit : ?session:int -> ?chunk:int -> t -> History.t -> Protocol.verdict
+(** [open_session], stream the whole history, [close_session]. *)
+
+val stats : t -> Protocol.domain_stats list
+
+val close : t -> unit
+(** Send [Goodbye] (best-effort) and close the socket.  Idempotent. *)
+
+val fd : t -> Unix.file_descr
+(** The raw descriptor — the fault-injection tests close it abruptly to
+    simulate a client dying mid-stream. *)

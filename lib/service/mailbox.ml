@@ -1,0 +1,42 @@
+type 'a t = {
+  buf : 'a Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  {
+    buf = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+  }
+
+let put mb x =
+  Mutex.lock mb.mutex;
+  while Queue.length mb.buf >= mb.capacity do
+    Condition.wait mb.nonfull mb.mutex
+  done;
+  Queue.push x mb.buf;
+  Condition.signal mb.nonempty;
+  Mutex.unlock mb.mutex
+
+let take mb =
+  Mutex.lock mb.mutex;
+  while Queue.is_empty mb.buf do
+    Condition.wait mb.nonempty mb.mutex
+  done;
+  let x = Queue.pop mb.buf in
+  Condition.signal mb.nonfull;
+  Mutex.unlock mb.mutex;
+  x
+
+let length mb =
+  Mutex.lock mb.mutex;
+  let n = Queue.length mb.buf in
+  Mutex.unlock mb.mutex;
+  n

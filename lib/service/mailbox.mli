@@ -1,0 +1,20 @@
+(** Bounded blocking queue (mutex + condition variables), the work-queue
+    between connection reader threads and domain-shard workers.
+
+    The bound is the server's backpressure: a reader that cannot enqueue
+    blocks, stops draining its socket, and the kernel's flow control
+    propagates the stall to the client — no unbounded buffering anywhere
+    on the path.  Safe across OCaml 5 domains. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument unless [capacity > 0]. *)
+
+val put : 'a t -> 'a -> unit
+(** Blocks while the queue holds [capacity] items. *)
+
+val take : 'a t -> 'a
+(** Blocks while the queue is empty. *)
+
+val length : 'a t -> int

@@ -1,0 +1,123 @@
+(** The [tm serve] wire protocol: framed, versioned, binary.
+
+    {1 Wire grammar}
+
+    Every message on the socket is a {e frame}:
+
+    {v
+frame   := length:u32be body
+body    := tag:u8 payload            (* |body| = length, 1 <= length <= max_frame *)
+
+payload by tag:
+  1  Hello          "TMSV" version:uv
+  2  Open_session   session:uv
+  3  Events         session:uv count:uv event*
+  4  Checkpoint     session:uv token:uv
+  5  Close_session  session:uv
+  6  Verdict        session:uv token:uv events:uv status
+  7  Stats_req      (empty)
+  8  Stats          ndomains:uv domain*
+  9  Error          code:uv message:str
+  10 Goodbye        (empty)
+
+event   := 0 tx:uv var:uv            (* read invocation  R_tx(var)      *)
+         | 1 tx:uv var:uv value:sv   (* write invocation W_tx(var,v)    *)
+         | 2 tx:uv                   (* tryCommit invocation            *)
+         | 3 tx:uv                   (* tryAbort invocation             *)
+         | 4 tx:uv value:sv          (* read response -> value          *)
+         | 5 tx:uv                   (* write response -> ok            *)
+         | 6 tx:uv                   (* tryCommit response -> C         *)
+         | 7 tx:uv                   (* any response -> A               *)
+
+status  := 0                         (* every prefix du-opaque          *)
+         | 1 why:str                 (* violation, sticky               *)
+         | 2 why:str                 (* search budget exhausted, sticky *)
+
+domain  := live:uv closed:uv events:uv responses:uv hits:uv
+           searches:uv nodes:uv
+
+uv      := unsigned LEB128 varint (63-bit)
+sv      := zigzag-coded signed varint
+str     := len:uv byte*
+    v}
+
+    {1 Conversation}
+
+    The client speaks first: [Hello] (magic + highest supported version);
+    the server answers [Hello] with the negotiated version.  After the
+    handshake the client opens any number of sessions (its own identifier
+    namespace, per connection), streams [Events] frames into them, and
+    collects [Verdict] frames: a [Checkpoint] is answered with the current
+    verdict carrying the checkpoint's token, a [Close_session] with the
+    final verdict (token [0]).  [Stats_req] is answered with per-domain
+    shard counters.  Protocol-level problems come back as [Error] frames:
+    an undecodable body ([bad-frame]) or a semantic error
+    ([unknown-session], [duplicate-session], ...) is reported and the
+    connection keeps serving its other sessions; only a desynchronised
+    stream (unparseable length prefix) closes the connection.
+
+    Verdicts are the online monitor's outcomes, so a [Verdict] with status
+    [0] certifies that {e every prefix} of the session's stream so far is
+    du-opaque — the same judgement [tm monitor] makes offline. *)
+
+val version : int
+val hello_magic : string
+
+val max_frame : int
+(** Upper bound on [length]; larger prefixes mean a desynchronised or
+    hostile peer. *)
+
+type error_code =
+  | Bad_frame  (** body did not decode; stream still framed *)
+  | Bad_magic  (** first frame was not a well-formed [Hello] *)
+  | Unsupported_version
+  | Unknown_session  (** frame targets a session never opened (or closed) *)
+  | Duplicate_session  (** [Open_session] with a live identifier *)
+  | Server_error
+
+val pp_error_code : Format.formatter -> error_code -> unit
+
+type status =
+  | S_ok
+  | S_violation of string
+  | S_budget of string  (** mirrors {!Tm_checker.Monitor.outcome} *)
+
+type verdict = {
+  session : int;
+  token : int;  (** checkpoint token; [0] for the final verdict *)
+  events : int;  (** events the monitor accepted so far *)
+  status : status;
+}
+
+type domain_stats = {
+  live_sessions : int;
+  closed_sessions : int;
+  events : int;
+  responses : int;
+  fastpath_hits : int;  (** monitor fast-path hits across the shard *)
+  searches : int;
+  nodes : int;
+}
+
+type frame =
+  | Hello of { version : int }
+  | Open_session of { session : int }
+  | Events of { session : int; events : Event.t list }
+  | Checkpoint of { session : int; token : int }
+  | Close_session of { session : int }
+  | Verdict of verdict
+  | Stats_req
+  | Stats of domain_stats list
+  | Err of { code : error_code; message : string }  (** the [Error] frame *)
+  | Goodbye
+
+val encode : Buffer.t -> frame -> unit
+(** Body only; the length prefix belongs to {!Wire}. *)
+
+val to_string : frame -> string
+
+val decode : string -> (frame, string) result
+(** Total: adversarial bodies yield [Error _], never an exception. *)
+
+val pp_status : Format.formatter -> status -> unit
+val pp_frame : Format.formatter -> frame -> unit

@@ -1,0 +1,372 @@
+module Monitor = Tm_checker.Monitor
+
+type config = {
+  addr : Wire.addr;
+  domains : int;
+  max_nodes : int option;
+  queue_capacity : int;
+  log : string -> unit;
+}
+
+let config ?(domains = 4) ?max_nodes ?(queue_capacity = 64) ?(log = ignore)
+    addr =
+  if domains <= 0 then invalid_arg "Server.config: domains must be positive";
+  { addr; domains; max_nodes; queue_capacity; log }
+
+(* Per-shard counters, written by the owning worker domain (and the reader
+   threads for the live-session gauge), read by any reader thread serving a
+   [Stats_req].  Atomics make the cross-domain reads well-defined; the
+   counters are monotone so slight skew between fields is harmless. *)
+type dstat = {
+  live : int Atomic.t;
+  closed : int Atomic.t;
+  d_events : int Atomic.t;
+  d_responses : int Atomic.t;
+  d_hits : int Atomic.t;
+  d_searches : int Atomic.t;
+  d_nodes : int Atomic.t;
+}
+
+let dstat () =
+  {
+    live = Atomic.make 0;
+    closed = Atomic.make 0;
+    d_events = Atomic.make 0;
+    d_responses = Atomic.make 0;
+    d_hits = Atomic.make 0;
+    d_searches = Atomic.make 0;
+    d_nodes = Atomic.make 0;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  conn_id : int;
+  wmutex : Mutex.t;  (* one frame = one write; workers and reader share *)
+  mutable alive : bool;  (* cleared on write failure or disconnect *)
+  sessions : (int, session) Hashtbl.t;
+      (* client session id -> session; touched only by the reader thread *)
+}
+
+and session = {
+  client_sid : int;
+  sconn : conn;
+  monitor : Monitor.t;
+  shard : int;
+  mutable last : Monitor.snapshot;  (* last snapshot folded into dstats *)
+}
+
+(* Work items flowing reader -> shard worker.  A session is pinned to one
+   shard, so its items are processed in FIFO order by a single domain and
+   the monitor needs no locking. *)
+type work =
+  | W_events of session * Event.t list
+  | W_checkpoint of session * int
+  | W_close of session
+  | W_reap of session
+  | W_quit
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Wire.addr;
+  mailboxes : work Mailbox.t array;
+  dstats : dstat array;
+  mutable stopping : bool;
+  conns : (int, conn) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable readers : Thread.t list;  (* guarded by conns_mutex *)
+  mutable accept_thread : Thread.t option;
+  mutable workers : unit Domain.t array;
+  next_conn : int Atomic.t;
+  next_session : int Atomic.t;
+}
+
+let bound_addr srv = srv.bound
+
+(* --- writing to clients -------------------------------------------------- *)
+
+let send_frame conn frame =
+  if conn.alive then
+    try Wire.send ~mutex:conn.wmutex conn.fd frame
+    with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+
+let status_of_outcome : Monitor.outcome -> Protocol.status = function
+  | `Ok -> Protocol.S_ok
+  | `Violation why -> Protocol.S_violation why
+  | `Budget why -> Protocol.S_budget why
+
+let verdict_frame s ~token =
+  Protocol.Verdict
+    {
+      Protocol.session = s.client_sid;
+      token;
+      events = Monitor.events_seen s.monitor;
+      status = status_of_outcome (Monitor.status s.monitor);
+    }
+
+(* --- shard workers -------------------------------------------------------- *)
+
+let account d s =
+  let snap = Monitor.snapshot s.monitor in
+  let add a n = if n <> 0 then ignore (Atomic.fetch_and_add a n) in
+  add d.d_events (snap.Monitor.events - s.last.Monitor.events);
+  add d.d_responses (snap.Monitor.responses - s.last.Monitor.responses);
+  add d.d_hits (snap.Monitor.fastpath_hits - s.last.Monitor.fastpath_hits);
+  add d.d_searches (snap.Monitor.searches - s.last.Monitor.searches);
+  add d.d_nodes (snap.Monitor.nodes - s.last.Monitor.nodes);
+  s.last <- snap
+
+let worker mailbox d () =
+  let rec loop () =
+    match Mailbox.take mailbox with
+    | W_quit -> ()
+    | W_events (s, events) ->
+        List.iter (fun ev -> ignore (Monitor.push s.monitor ev)) events;
+        account d s;
+        loop ()
+    | W_checkpoint (s, token) ->
+        account d s;
+        send_frame s.sconn (verdict_frame s ~token);
+        loop ()
+    | W_close s ->
+        account d s;
+        (* Counters settle before the final verdict: a client holding its
+           close verdict must not observe the session still live. *)
+        ignore (Atomic.fetch_and_add d.live (-1));
+        Atomic.incr d.closed;
+        send_frame s.sconn (verdict_frame s ~token:0);
+        loop ()
+    | W_reap s ->
+        account d s;
+        ignore (Atomic.fetch_and_add d.live (-1));
+        Atomic.incr d.closed;
+        loop ()
+  in
+  loop ()
+
+(* --- per-connection reader threads ---------------------------------------- *)
+
+let stats_frame srv =
+  Protocol.Stats
+    (Array.to_list
+       (Array.map
+          (fun d ->
+            {
+              Protocol.live_sessions = Atomic.get d.live;
+              closed_sessions = Atomic.get d.closed;
+              events = Atomic.get d.d_events;
+              responses = Atomic.get d.d_responses;
+              fastpath_hits = Atomic.get d.d_hits;
+              searches = Atomic.get d.d_searches;
+              nodes = Atomic.get d.d_nodes;
+            })
+          srv.dstats))
+
+let err conn code message = send_frame conn (Protocol.Err { code; message })
+
+let handshake conn =
+  match Wire.recv conn.fd with
+  | Wire.Frame (Protocol.Hello { version }) ->
+      if version < 1 then begin
+        err conn Protocol.Unsupported_version
+          (Fmt.str "client version %d unsupported" version);
+        false
+      end
+      else begin
+        send_frame conn
+          (Protocol.Hello { version = min version Protocol.version });
+        true
+      end
+  | Wire.Frame f ->
+      err conn Protocol.Bad_magic
+        (Fmt.str "first frame must be Hello, got %a" Protocol.pp_frame f);
+      false
+  | Wire.Malformed msg ->
+      err conn Protocol.Bad_magic (Fmt.str "undecodable Hello: %s" msg);
+      false
+
+let open_session srv conn sid =
+  if Hashtbl.mem conn.sessions sid then
+    err conn Protocol.Duplicate_session
+      (Fmt.str "session %d is already open on this connection" sid)
+  else begin
+    let key = Atomic.fetch_and_add srv.next_session 1 in
+    let shard = key mod srv.cfg.domains in
+    let monitor = Monitor.create ?max_nodes:srv.cfg.max_nodes () in
+    let s =
+      {
+        client_sid = sid;
+        sconn = conn;
+        monitor;
+        shard;
+        last = Monitor.snapshot monitor;
+      }
+    in
+    Hashtbl.replace conn.sessions sid s;
+    Atomic.incr srv.dstats.(shard).live
+  end
+
+let with_session srv conn sid k =
+  match Hashtbl.find_opt conn.sessions sid with
+  | Some s -> Mailbox.put srv.mailboxes.(s.shard) (k s)
+  | None ->
+      err conn Protocol.Unknown_session
+        (Fmt.str "no open session %d on this connection" sid)
+
+let serve_frames srv conn =
+  let continue = ref true in
+  while !continue && conn.alive do
+    match Wire.recv conn.fd with
+    | Wire.Frame frame -> (
+        match frame with
+        | Protocol.Open_session { session } -> open_session srv conn session
+        | Protocol.Events { session; events } ->
+            with_session srv conn session (fun s -> W_events (s, events))
+        | Protocol.Checkpoint { session; token } ->
+            with_session srv conn session (fun s -> W_checkpoint (s, token))
+        | Protocol.Close_session { session } -> (
+            match Hashtbl.find_opt conn.sessions session with
+            | Some s ->
+                Hashtbl.remove conn.sessions session;
+                Mailbox.put srv.mailboxes.(s.shard) (W_close s)
+            | None ->
+                err conn Protocol.Unknown_session
+                  (Fmt.str "no open session %d on this connection" session))
+        | Protocol.Stats_req -> send_frame conn (stats_frame srv)
+        | Protocol.Goodbye -> continue := false
+        | Protocol.Hello _ | Protocol.Verdict _ | Protocol.Stats _
+        | Protocol.Err _ ->
+            err conn Protocol.Bad_frame
+              (Fmt.str "unexpected frame %a" Protocol.pp_frame frame))
+    | Wire.Malformed msg ->
+        (* The stream is still framed: report and keep serving, so one bad
+           frame never takes down the connection's other sessions. *)
+        srv.cfg.log
+          (Fmt.str "conn %d: malformed frame (%s)" conn.conn_id msg);
+        err conn Protocol.Bad_frame msg
+  done
+
+let serve_conn srv conn () =
+  (try
+     if handshake conn then serve_frames srv conn
+   with
+  | Wire.Closed -> ()
+  | Wire.Desync msg ->
+      srv.cfg.log (Fmt.str "conn %d: desync (%s), closing" conn.conn_id msg);
+      err conn Protocol.Bad_frame msg
+  | Unix.Unix_error (e, _, _) ->
+      srv.cfg.log
+        (Fmt.str "conn %d: %s, closing" conn.conn_id (Unix.error_message e)));
+  (* Reap: a dead client never wedges a shard — surviving sessions are
+     retired through the same mailboxes as regular closes, after any work
+     already enqueued for them. *)
+  conn.alive <- false;
+  Hashtbl.iter
+    (fun _ s -> Mailbox.put srv.mailboxes.(s.shard) (W_reap s))
+    conn.sessions;
+  Hashtbl.reset conn.sessions;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock srv.conns_mutex;
+  Hashtbl.remove srv.conns conn.conn_id;
+  Mutex.unlock srv.conns_mutex
+
+(* --- accept loop ----------------------------------------------------------- *)
+
+let accept_loop srv () =
+  while not srv.stopping do
+    match Unix.accept srv.listen_fd with
+    | fd, _ ->
+        let conn =
+          {
+            fd;
+            conn_id = Atomic.fetch_and_add srv.next_conn 1;
+            wmutex = Mutex.create ();
+            alive = true;
+            sessions = Hashtbl.create 8;
+          }
+        in
+        Mutex.lock srv.conns_mutex;
+        Hashtbl.replace srv.conns conn.conn_id conn;
+        srv.readers <- Thread.create (serve_conn srv conn) () :: srv.readers;
+        Mutex.unlock srv.conns_mutex
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* --- lifecycle -------------------------------------------------------------- *)
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listen_fd = Wire.listen cfg.addr in
+  let bound =
+    match cfg.addr with
+    | `Tcp (host, 0) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> `Tcp (host, port)
+        | _ -> cfg.addr)
+    | addr -> addr
+  in
+  let mailboxes =
+    Array.init cfg.domains (fun _ ->
+        Mailbox.create ~capacity:cfg.queue_capacity)
+  in
+  let dstats = Array.init cfg.domains (fun _ -> dstat ()) in
+  let srv =
+    {
+      cfg;
+      listen_fd;
+      bound;
+      mailboxes;
+      dstats;
+      stopping = false;
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      readers = [];
+      accept_thread = None;
+      workers = [||];
+      next_conn = Atomic.make 1;
+      next_session = Atomic.make 1;
+    }
+  in
+  srv.workers <-
+    Array.init cfg.domains (fun i ->
+        Domain.spawn (worker mailboxes.(i) dstats.(i)));
+  srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let stop srv =
+  if not srv.stopping then begin
+    srv.stopping <- true;
+    (* Wake the blocked accept: closing the fd does NOT interrupt an
+       in-flight accept(2), but shutdown(2) on the listening socket does
+       (EINVAL on Linux).  Where shutdown is refused the listener is still
+       live, so a self-connect pokes it instead; the stray connection's
+       reader sees immediate EOF and cleans itself up below. *)
+    (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close (Wire.connect srv.bound) with
+    | Unix.Unix_error _ | Wire.Closed -> ());
+    (match srv.accept_thread with Some t -> Thread.join t | None -> ());
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (* Wake every reader blocked in a read; their reaps then drain through
+       the still-running workers, so no mailbox deadlock. *)
+    Mutex.lock srv.conns_mutex;
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns [] in
+    let readers = srv.readers in
+    Mutex.unlock srv.conns_mutex;
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join readers;
+    Array.iter (fun mb -> Mailbox.put mb W_quit) srv.mailboxes;
+    Array.iter Domain.join srv.workers;
+    match srv.cfg.addr with
+    | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | `Tcp _ -> ()
+  end
+
+let stats srv =
+  match stats_frame srv with Protocol.Stats ds -> ds | _ -> assert false

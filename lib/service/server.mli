@@ -1,0 +1,51 @@
+(** The [tm serve] server: a streaming du-opacity checking service.
+
+    One listening socket (Unix or TCP), many concurrent connections, many
+    sessions per connection.  Each session owns one online
+    {!Tm_checker.Monitor} and is pinned to one shard of a fixed pool of
+    OCaml 5 domains; connection reader threads decode frames and hand the
+    per-session work to the shard's bounded mailbox ({!Mailbox}), whose
+    bound is the backpressure that stalls over-eager clients instead of
+    buffering without limit.
+
+    Robustness invariants (exercised by the loopback tests):
+    - a malformed frame body is answered with an [Error] frame and the
+      connection keeps serving — other sessions never notice;
+    - an unparseable length prefix (desync) closes only that connection;
+    - a client that disconnects mid-stream has its sessions reaped through
+      the regular work queues — a dead client never wedges a domain. *)
+
+type config = {
+  addr : Wire.addr;
+  domains : int;  (** shard pool size (OCaml domains) *)
+  max_nodes : int option;  (** per-response search budget, per monitor *)
+  queue_capacity : int;  (** mailbox bound per shard (work items) *)
+  log : string -> unit;  (** server-side event log (malformed frames, ...) *)
+}
+
+val config :
+  ?domains:int ->
+  ?max_nodes:int ->
+  ?queue_capacity:int ->
+  ?log:(string -> unit) ->
+  Wire.addr ->
+  config
+(** Defaults: 4 domains, no search budget, 64-item queues, silent log. *)
+
+type t
+
+val start : config -> t
+(** Binds, spawns the shard pool and the accept thread, returns.  Ignores
+    [SIGPIPE] process-wide (a dead client must surface as a write error,
+    not a signal). *)
+
+val stop : t -> unit
+(** Graceful: stops accepting, wakes and joins every connection, drains
+    and joins the shard pool, unlinks a Unix-socket path.  Idempotent. *)
+
+val bound_addr : t -> Wire.addr
+(** The bound address — with the actual port when [`Tcp (_, 0)] asked the
+    kernel to choose. *)
+
+val stats : t -> Protocol.domain_stats list
+(** Same counters a [Stats_req] frame returns. *)

@@ -1,0 +1,105 @@
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+let pp_addr ppf = function
+  | `Unix path -> Fmt.pf ppf "unix:%s" path
+  | `Tcp (host, port) -> Fmt.pf ppf "tcp:%s:%d" host port
+
+exception Closed
+exception Desync of string
+
+let sockaddr_of = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> Fmt.failwith "Wire: cannot resolve host %S" host)
+      in
+      Unix.ADDR_INET (ip, port)
+
+let socket_of = function
+  | `Unix _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | `Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+
+let connect addr =
+  let fd = socket_of addr in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e ->
+     Unix.close fd;
+     raise e);
+  (match addr with
+  | `Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+  | `Unix _ -> ());
+  fd
+
+let listen ?(backlog = 64) addr =
+  let fd = socket_of addr in
+  (try
+     (match addr with
+     | `Unix path -> if Sys.file_exists path then Unix.unlink path
+     | `Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+     Unix.bind fd (sockaddr_of addr);
+     Unix.listen fd backlog
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+let rec read_exact fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.read fd bytes pos len in
+    if n = 0 then raise Closed;
+    read_exact fd bytes (pos + n) (len - n)
+  end
+
+(* Frames serialise into one contiguous byte string so a send is a single
+   [write] loop under the caller's mutex — concurrent writers (one reader
+   thread, several shard workers) interleave whole frames only. *)
+let frame_bytes frames =
+  let out = Buffer.create 256 in
+  List.iter
+    (fun frame ->
+      let body = Protocol.to_string frame in
+      let len = String.length body in
+      if len > Protocol.max_frame then
+        Fmt.invalid_arg "Wire.send: frame of %d bytes exceeds max_frame" len;
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 (Int32.of_int len);
+      Buffer.add_bytes out hdr;
+      Buffer.add_string out body)
+    frames;
+  Buffer.to_bytes out
+
+let send_many ?mutex fd frames =
+  let bytes = frame_bytes frames in
+  match mutex with
+  | None -> write_all fd bytes 0 (Bytes.length bytes)
+  | Some m ->
+      Mutex.lock m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock m)
+        (fun () -> write_all fd bytes 0 (Bytes.length bytes))
+
+let send ?mutex fd frame = send_many ?mutex fd [ frame ]
+
+type input = Frame of Protocol.frame | Malformed of string
+
+let recv fd =
+  let header = Bytes.create 4 in
+  read_exact fd header 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len <= 0 || len > Protocol.max_frame then
+    raise (Desync (Fmt.str "frame length %d out of bounds" len));
+  let body = Bytes.create len in
+  read_exact fd body 0 len;
+  match Protocol.decode (Bytes.unsafe_to_string body) with
+  | Ok frame -> Frame frame
+  | Error msg -> Malformed msg

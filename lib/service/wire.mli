@@ -1,0 +1,39 @@
+(** Framed I/O over Unix file descriptors.
+
+    A frame on the wire is a 4-byte big-endian body length followed by the
+    body ({!Protocol.encode}); see {!Protocol} for the grammar.  Reads are
+    blocking and exact; writes serialise each batch of frames into one
+    contiguous buffer so concurrent writers holding the same mutex
+    interleave whole frames only. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+val pp_addr : Format.formatter -> addr -> unit
+
+exception Closed
+(** Peer closed the connection (EOF on a frame boundary or mid-frame). *)
+
+exception Desync of string
+(** The length prefix is unusable (zero, negative, or beyond
+    {!Protocol.max_frame}); the stream cannot be re-synchronised. *)
+
+val connect : addr -> Unix.file_descr
+(** Client side: connect (with [TCP_NODELAY] for TCP). *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Server side: bind + listen; an existing Unix-socket path is unlinked
+    first, TCP sockets get [SO_REUSEADDR]. *)
+
+val send : ?mutex:Mutex.t -> Unix.file_descr -> Protocol.frame -> unit
+val send_many : ?mutex:Mutex.t -> Unix.file_descr -> Protocol.frame list -> unit
+
+type input =
+  | Frame of Protocol.frame
+  | Malformed of string
+      (** the body did not decode; the stream is still framed and the
+          caller may keep reading after reporting the error *)
+
+val recv : Unix.file_descr -> input
+(** @raise Closed on EOF.
+    @raise Desync on an unusable length prefix.
+    @raise Unix.Unix_error as usual. *)

@@ -13,6 +13,10 @@ type result = {
   history : History.t option;
   stats : Harness.stats;
   elapsed_s : float;
+  torn_tail : int;
+      (** Events dropped from the end of the recorded log because a fault
+          plan cut a domain mid-append and left a half-recorded operation;
+          [0] on fault-free runs. *)
 }
 
 let throughput r =
@@ -66,9 +70,17 @@ let run ?(record = false) ?(max_retries = 100) ?retry ?(faults = Faults.none)
       (Harness.empty_stats ()) domains
   in
   let elapsed_s = Clock.now () -. t0 in
-  let history =
-    if record then
-      Some (History.of_events_exn (Faults.truncate faults (List.rev !log)))
-    else None
+  let history, torn_tail =
+    if record then begin
+      (* A crashed domain can die between appending an invocation and its
+         response, or a truncation plan can cut the log mid-operation; the
+         reversed log is then an interleaving whose tail is not well-formed.
+         Keep the longest well-formed prefix rather than failing every
+         consumer downstream. *)
+      let events = Faults.truncate faults (List.rev !log) in
+      let h, torn = History.of_events_prefix events in
+      (Some h, List.length torn)
+    end
+    else (None, 0)
   in
-  { history; stats; elapsed_s }
+  { history; stats; elapsed_s; torn_tail }

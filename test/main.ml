@@ -16,4 +16,6 @@ let () =
     @ Test_limit.suite
     @ Test_shrink.suite
     @ Test_tools.suite
-    @ Test_si.suite)
+    @ Test_si.suite
+    @ Test_codec.suite
+    @ Test_service.suite)

@@ -1,0 +1,262 @@
+(* Binary codec and wire protocol: round-trips and decoder totality.
+
+   Pins the promise codec.mli and protocol.mli make: every encoded value
+   decodes back to itself, and adversarial bytes — truncations, random
+   mutations, pure garbage — yield [Error _], never an exception. *)
+
+open Tm_safety
+open Helpers
+module Codec = Service.Codec
+module Protocol = Service.Protocol
+
+(* --- primitives --------------------------------------------------------- *)
+
+let roundtrip_uvarint () =
+  List.iter
+    (fun n ->
+      let b = Buffer.create 16 in
+      Codec.put_uvarint b n;
+      let r = Codec.reader (Buffer.contents b) in
+      Alcotest.(check int) (Fmt.str "uvarint %d" n) n (Codec.get_uvarint r);
+      Alcotest.(check bool) "consumed" true (Codec.at_end r))
+    [ 0; 1; 127; 128; 16383; 16384; 0x3fffffff; max_int ]
+
+let roundtrip_int () =
+  List.iter
+    (fun n ->
+      let b = Buffer.create 16 in
+      Codec.put_int b n;
+      let r = Codec.reader (Buffer.contents b) in
+      Alcotest.(check int) (Fmt.str "int %d" n) n (Codec.get_int r))
+    [ 0; 1; -1; 63; -64; 1000; -1000; 1 lsl 60; -(1 lsl 60) ]
+
+let roundtrip_string () =
+  List.iter
+    (fun s ->
+      let b = Buffer.create 16 in
+      Codec.put_string b s;
+      let r = Codec.reader (Buffer.contents b) in
+      Alcotest.(check string) "string" s (Codec.get_string r))
+    [ ""; "x"; "hello"; String.make 300 '\xff'; "\x00\x80\x7f" ]
+
+let uvarint_rejects_overflow () =
+  (* Ten continuation bytes would shift past bit 62. *)
+  let too_long = String.make 9 '\xff' ^ "\x7f" in
+  match Codec.get_uvarint (Codec.reader too_long) with
+  | _ -> Alcotest.fail "expected Codec.Error on overflowing varint"
+  | exception Codec.Error _ -> ()
+
+(* --- events -------------------------------------------------------------- *)
+
+let all_event_shapes =
+  [
+    Event.Inv (1, Event.Read 0);
+    Event.Inv (2, Event.Write (3, -7));
+    Event.Inv (3, Event.Try_commit);
+    Event.Inv (4, Event.Try_abort);
+    Event.Res (1, Event.Read_ok 42);
+    Event.Res (2, Event.Write_ok);
+    Event.Res (3, Event.Committed);
+    Event.Res (4, Event.Aborted);
+  ]
+
+let roundtrip_events () =
+  List.iter
+    (fun ev ->
+      let b = Buffer.create 16 in
+      Codec.put_event b ev;
+      let r = Codec.reader (Buffer.contents b) in
+      Alcotest.check event "event" ev (Codec.get_event r);
+      Alcotest.(check bool) "consumed" true (Codec.at_end r))
+    all_event_shapes;
+  let b = Buffer.create 64 in
+  Codec.put_events b all_event_shapes;
+  let r = Codec.reader (Buffer.contents b) in
+  Alcotest.(check (list event)) "event list" all_event_shapes
+    (Codec.get_events r)
+
+let event_rejects_t0 () =
+  (* tag inv-read, tx 0: identifiers must be positive. *)
+  match Codec.get_event (Codec.reader "\x00\x00\x00") with
+  | _ -> Alcotest.fail "expected Codec.Error on tx 0"
+  | exception Codec.Error _ -> ()
+
+(* --- standalone binary histories ---------------------------------------- *)
+
+let figures_roundtrip () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let s = Codec.history_to_string e.history in
+      Alcotest.(check bool) "magic" true (Codec.looks_binary s);
+      match Codec.history_of_string s with
+      | Ok h -> Alcotest.check history e.name e.history h
+      | Error why -> Alcotest.failf "%s: %s" e.name why)
+    Figures.catalog
+
+let figures_text_binary_agree () =
+  (* The binary format and the text format decode to the same history. *)
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let via_text = Parse.of_string_exn (Parse.to_text e.history) in
+      let via_binary =
+        match Codec.history_of_string (Codec.history_to_string e.history) with
+        | Ok h -> h
+        | Error why -> Alcotest.failf "%s: binary decode: %s" e.name why
+      in
+      Alcotest.check history e.name via_text via_binary)
+    Figures.catalog
+
+let truncations_fail () =
+  let s = Codec.history_to_string (List.hd Figures.catalog).history in
+  for len = 0 to String.length s - 1 do
+    match Codec.history_of_string (String.sub s 0 len) with
+    | Ok _ -> Alcotest.failf "strict prefix of length %d decoded" len
+    | Error _ -> ()
+  done
+
+(* --- protocol frames ----------------------------------------------------- *)
+
+let gen_status =
+  let open QCheck2.Gen in
+  let str = string_size ~gen:printable (0 -- 20) in
+  oneof
+    [
+      pure Protocol.S_ok;
+      map (fun s -> Protocol.S_violation s) str;
+      map (fun s -> Protocol.S_budget s) str;
+    ]
+
+let gen_domain_stats =
+  let open QCheck2.Gen in
+  let n = 0 -- 100_000 in
+  map3
+    (fun (a, b) (c, d) (e, (f, g)) ->
+      {
+        Protocol.live_sessions = a;
+        closed_sessions = b;
+        events = c;
+        responses = d;
+        fastpath_hits = e;
+        searches = f;
+        nodes = g;
+      })
+    (pair n n) (pair n n)
+    (pair n (pair n n))
+
+let gen_frame =
+  let open QCheck2.Gen in
+  let session = 1 -- 1_000 in
+  let str = string_size ~gen:printable (0 -- 30) in
+  let events = map History.to_list (arb_history ()) in
+  oneof
+    [
+      map (fun v -> Protocol.Hello { version = v }) (1 -- 7);
+      map (fun s -> Protocol.Open_session { session = s }) session;
+      map2
+        (fun s events -> Protocol.Events { session = s; events })
+        session events;
+      map2
+        (fun s token -> Protocol.Checkpoint { session = s; token })
+        session (0 -- 1_000);
+      map (fun s -> Protocol.Close_session { session = s }) session;
+      map3
+        (fun s token (events, status) ->
+          Protocol.Verdict { session = s; token; events; status })
+        session (0 -- 1_000)
+        (pair (0 -- 100_000) gen_status);
+      pure Protocol.Stats_req;
+      map (fun ds -> Protocol.Stats ds) (list_size (0 -- 5) gen_domain_stats);
+      map2
+        (fun code message -> Protocol.Err { code; message })
+        (oneofl
+           [
+             Protocol.Bad_frame; Protocol.Bad_magic;
+             Protocol.Unsupported_version; Protocol.Unknown_session;
+             Protocol.Duplicate_session; Protocol.Server_error;
+           ])
+        str;
+      pure Protocol.Goodbye;
+    ]
+
+let prop_frame_roundtrip =
+  qtest ~count:1000 "protocol: decode (to_string f) = Ok f (1000x)" gen_frame
+    (fun f ->
+      match Protocol.decode (Protocol.to_string f) with
+      | Ok f' -> f = f'
+      | Error _ -> false)
+
+(* --- the QCheck round-trip and fuzz properties --------------------------- *)
+
+let prop_events_roundtrip =
+  qtest ~count:1000 "codec: events decode (encode evs) = evs (1000x)"
+    (arb_history ()) (fun h ->
+      let events = History.to_list h in
+      let b = Buffer.create 256 in
+      Codec.put_events b events;
+      let r = Codec.reader (Buffer.contents b) in
+      List.equal Event.equal events (Codec.get_events r) && Codec.at_end r)
+
+let prop_history_roundtrip =
+  qtest ~count:1000 "codec: history_of_string (history_to_string h) = Ok h"
+    (arb_history ()) (fun h ->
+      match Codec.history_of_string (Codec.history_to_string h) with
+      | Ok h' -> History.to_list h = History.to_list h'
+      | Error _ -> false)
+
+(* Mutate a few bytes of a valid encoding: the decoder must return — any
+   [Ok]/[Error] is fine, an exception is the bug.  (A mutation can land in
+   a string payload and still decode, so [Ok] is not excluded.) *)
+
+let mutate s muts =
+  let b = Bytes.of_string s in
+  List.iter
+    (fun (pos, byte) ->
+      if Bytes.length b > 0 then
+        Bytes.set b (pos mod Bytes.length b) (Char.chr (byte land 0xff)))
+    muts;
+  Bytes.to_string b
+
+let gen_mutations =
+  QCheck2.Gen.(list_size (1 -- 8) (pair (0 -- 10_000) (0 -- 255)))
+
+let prop_history_fuzz =
+  qtest ~count:1000 "codec: mutated history bytes never crash the decoder"
+    QCheck2.Gen.(pair (arb_history ()) gen_mutations)
+    (fun (h, muts) ->
+      let s = mutate (Codec.history_to_string h) muts in
+      match Codec.history_of_string s with Ok _ | Error _ -> true)
+
+let prop_frame_fuzz =
+  qtest ~count:1000 "protocol: mutated frame bodies never crash the decoder"
+    QCheck2.Gen.(pair gen_frame gen_mutations)
+    (fun (f, muts) ->
+      let s = mutate (Protocol.to_string f) muts in
+      match Protocol.decode s with Ok _ | Error _ -> true)
+
+let prop_garbage =
+  qtest ~count:1000 "protocol: arbitrary bytes never crash the decoder"
+    QCheck2.Gen.(string_size ~gen:(0 -- 255 |> map Char.chr) (0 -- 64))
+    (fun s ->
+      (match Protocol.decode s with Ok _ | Error _ -> ());
+      match Codec.history_of_string s with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    ( "codec",
+      [
+        test "uvarint round-trip at the edges" roundtrip_uvarint;
+        test "zigzag int round-trip" roundtrip_int;
+        test "string round-trip" roundtrip_string;
+        test "overlong varint rejected" uvarint_rejects_overflow;
+        test "every event shape round-trips" roundtrip_events;
+        test "transaction 0 rejected" event_rejects_t0;
+        test "paper figures round-trip through TMH1" figures_roundtrip;
+        test "text and binary formats agree" figures_text_binary_agree;
+        test "every strict prefix fails to decode" truncations_fail;
+        prop_events_roundtrip;
+        prop_history_roundtrip;
+        prop_history_fuzz;
+      ] );
+    ( "protocol",
+      [ prop_frame_roundtrip; prop_frame_fuzz; prop_garbage ] );
+  ]

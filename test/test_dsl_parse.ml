@@ -63,6 +63,26 @@ let parse_tests =
     parse_err "double response" "R1(X)->0 ret1:0";
   ]
 
+(* Parse errors locate the offending token: "line N, token M: ...". *)
+let parse_err_at name text prefix =
+  test name (fun () ->
+      match Parse.of_string text with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" text
+      | Error e ->
+          if not (String.starts_with ~prefix e) then
+            Alcotest.failf "error %S does not start with %S" e prefix)
+
+let position_tests =
+  [
+    parse_err_at "position: first token" "Q1(X)" "line 1, token 1:";
+    parse_err_at "position: second token" "R1(X)->0 W1(Y)->ok"
+      "line 1, token 2:";
+    parse_err_at "position: second line" "R1(X)->0 # first read\nC1->x"
+      "line 2, token 1:";
+    parse_err_at "position: token index restarts per line"
+      "R1(X)->0\nW2(Y,1)->ok   R2(Y)->oops" "line 2, token 2:";
+  ]
+
 let test_var_name_aliases () =
   (* Z and X2 are the same variable. *)
   let h1 = Parse.of_string_exn "W1(Z,1)->ok C1->C" in
@@ -94,7 +114,7 @@ let suite =
         test "rejects ill-formed" test_dsl_rejects;
       ] );
     ( "parse",
-      parse_tests
+      parse_tests @ position_tests
       @ [
           test "variable name aliases" test_var_name_aliases;
           roundtrip "roundtrip fig1" Figures.fig1;

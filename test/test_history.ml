@@ -245,6 +245,31 @@ let test_response_indices () =
   let idx = History.response_indices h in
   Alcotest.(check (list int)) "indices" [ 2; 4; 6; 8; 11 ] idx
 
+(* of_events_prefix: the longest well-formed prefix plus the torn tail —
+   what Parallel.run uses to salvage a log cut mid-operation. *)
+let test_of_events_prefix () =
+  let events =
+    History.to_list (Parse.of_string_exn "W1(X,1)->ok C1->C R2(X)->1 C2->C")
+  in
+  let full, tail = History.of_events_prefix events in
+  Alcotest.(check (list event)) "full prefix" events (History.to_list full);
+  Alcotest.(check (list event)) "empty tail" [] tail;
+  (* a response with no pending invocation tears the log *)
+  let orphan = Res (9, Committed) in
+  let cut, tail = History.of_events_prefix (events @ [ orphan ]) in
+  Alcotest.(check (list event)) "longest prefix" events (History.to_list cut);
+  Alcotest.(check (list event)) "torn tail" [ orphan ] tail;
+  (* everything from the first offence on is dropped, even events that
+     would be well-formed on their own *)
+  let suffix = [ orphan; Inv (3, Read 0); Res (3, Read_ok 1) ] in
+  let cut, tail = History.of_events_prefix (events @ suffix) in
+  Alcotest.(check (list event)) "prefix stops at offence" events
+    (History.to_list cut);
+  Alcotest.(check (list event)) "whole torn suffix" suffix tail;
+  let empty, tail = History.of_events_prefix [ orphan ] in
+  Alcotest.(check int) "empty prefix" 0 (History.length empty);
+  Alcotest.(check (list event)) "all torn" [ orphan ] tail
+
 let suite =
   [
     ("history: well-formedness", formation_tests);
@@ -263,5 +288,6 @@ let suite =
         test "equivalence" test_equivalent;
         test "sequential predicates" test_sequential_predicates;
         test "response indices" test_response_indices;
+        test "of_events_prefix salvages torn logs" test_of_events_prefix;
       ] );
   ]

@@ -302,7 +302,7 @@ let prop_monitor_equiv_offline =
 (* --- Structural properties of the generator and the text format --- *)
 
 let prop_roundtrip =
-  qtest ~count:300 "text roundtrip is exact" mixed (fun h ->
+  qtest ~count:1000 "text roundtrip is exact (1000x)" mixed (fun h ->
       match Parse.of_string (Parse.to_text h) with
       | Ok h' -> History.to_list h = History.to_list h'
       | Error _ -> false)

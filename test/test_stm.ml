@@ -176,6 +176,36 @@ let test_unique_workload_polygraph () =
           Alcotest.failf "seed %d: unexpected duplicate: %s" seed why)
     (List.init 10 (fun i -> i + 100))
 
+(* The recorded log survives being cut by an omission plan: Parallel.run
+   keeps the longest well-formed prefix and accounts for the torn tail. *)
+let test_parallel_torn_accounting () =
+  let params =
+    { params with Stm.Workload.n_threads = 3; txns_per_thread = 5 }
+  in
+  let run faults =
+    Stm.Parallel.run ~record:true ~faults
+      ~algorithm:(Stm.Registry.find_exn "tl2")
+      ~params ~seed:7 ()
+  in
+  let clean = run Stm.Faults.none in
+  Alcotest.(check int) "fault-free runs are never torn" 0
+    clean.Stm.Parallel.torn_tail;
+  (* The log is far longer than any cut below, so the cut is exact: the
+     salvaged history plus the torn tail is the whole truncated log. *)
+  List.iter
+    (fun cut ->
+      let r =
+        run { Stm.Faults.none with Stm.Faults.omission = Some cut }
+      in
+      match r.Stm.Parallel.history with
+      | None -> Alcotest.fail "recording was on"
+      | Some h ->
+          Alcotest.(check int)
+            (Fmt.str "cut %d fully accounted" cut)
+            cut
+            (History.length h + r.Stm.Parallel.torn_tail))
+    [ 1; 3; 7; 17; 23 ]
+
 let suite =
   [
     ( "stm: safe algorithms (sim)",
@@ -197,6 +227,7 @@ let suite =
         slow "explore: eager violation found" test_explore_finds_control_violation;
         slow "parallel tl2 (domains) du-opaque" (test_parallel_recorded "tl2");
         slow "parallel norec (domains) du-opaque" (test_parallel_recorded "norec");
+        slow "parallel torn-tail accounting" test_parallel_torn_accounting;
         slow "unique workload via polygraph" test_unique_workload_polygraph;
       ] );
   ]
