@@ -415,6 +415,156 @@ let chaos_cmd =
       const run $ stm $ seeds $ faults_arg $ threads $ txns $ ops $ vars
       $ check $ timelines $ max_nodes_arg)
 
+(* --- tm soak ------------------------------------------------------------- *)
+
+let soak_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base PRNG seed; iteration $(i,i) uses seed + i.") in
+  let iters =
+    Arg.(
+      value & opt (some int) None
+      & info [ "iters" ]
+          ~doc:"Stop after $(docv) iterations (default 200 when --seconds is \
+                not given).")
+  in
+  let seconds =
+    Arg.(
+      value & opt (some float) None
+      & info [ "seconds" ] ~doc:"Stop after $(docv) seconds of wall clock.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Worker domains in the soak pool.")
+  in
+  let sources =
+    let doc =
+      "Comma-separated history sources, cycled per iteration: $(b,gen) \
+       (random histories), an STM name (recorded executions, e.g. \
+       $(b,tl2),$(b,norec),$(b,pessimistic)), or $(b,faults-)$(i,STM) \
+       (fault-injected campaigns).  Default: gen,tl2,gen,norec,faults-tl2,\
+       gen,pessimistic,faults-norec."
+    in
+    Arg.(value & opt (some string) None & info [ "sources" ] ~docv:"TAGS" ~doc)
+  in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:"Also round-trip every history through a loopback tm serve \
+                instance (started in-process on a private Unix socket).")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "corpus/soak"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Persist shrunk discrepancy repros under $(docv).")
+  in
+  let no_corpus =
+    Arg.(value & flag & info [ "no-corpus" ] ~doc:"Do not persist repro files.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the JSON report to $(docv) ($(b,-) = stdout).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-discrepancy progress logs.")
+  in
+  let run seed iters seconds jobs sources serve corpus no_corpus json
+      max_nodes quiet =
+    let sources =
+      match sources with
+      | None -> Ok None
+      | Some s ->
+          let tags = String.split_on_char ',' s |> List.filter (( <> ) "") in
+          let rec go acc = function
+            | [] -> Ok (Some (List.rev acc))
+            | t :: rest -> (
+                match Oracle.source_of_tag (String.trim t) with
+                | Ok src -> go (src :: acc) rest
+                | Error e -> Error e)
+          in
+          go [] tags
+    in
+    match sources with
+    | Error e ->
+        Fmt.epr "tm soak: %s@." e;
+        3
+    | Ok sources ->
+        let server =
+          if not serve then None
+          else
+            let path =
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Fmt.str "tm-soak-%d.sock" (Unix.getpid ()))
+            in
+            let cfg =
+              Service.Server.config ~domains:(max 1 jobs) ?max_nodes
+                (`Unix path)
+            in
+            Some (Service.Server.start cfg)
+        in
+        let log = if quiet then ignore else fun m -> Fmt.epr "%s@." m in
+        let cfg =
+          Oracle.config ~base_seed:seed ?iters ?seconds ~jobs ?max_nodes
+            ?sources
+            ?serve:(Option.map Service.Server.bound_addr server)
+            ?corpus_dir:(if no_corpus then None else Some corpus)
+            ~log ()
+        in
+        let r = Oracle.run cfg in
+        Option.iter Service.Server.stop server;
+        Fmt.pr
+          "# soak: %d iterations, %d events, %.1f s wall, %d unknown, %d \
+           closure gap(s), %d job(s), seed %d@."
+          r.Oracle.r_iterations r.Oracle.r_events r.Oracle.r_wall_s
+          r.Oracle.r_unknowns r.Oracle.r_closure_gaps jobs seed;
+        List.iter
+          (fun (p : Oracle.path_stat) ->
+            Fmt.pr "#   %-8s %10.0f events/s  (%d events, %.2f s)@."
+              p.Oracle.p_path
+              (if p.Oracle.p_seconds <= 0. then 0.
+               else float_of_int p.Oracle.p_events /. p.Oracle.p_seconds)
+              p.Oracle.p_events p.Oracle.p_seconds)
+          r.Oracle.r_paths;
+        List.iter
+          (fun (d : Oracle.discrepancy) ->
+            Fmt.pr
+              "DISCREPANCY iter %d (%s, seed %d), shrunk %d -> %d events:@."
+              d.Oracle.d_iter d.Oracle.d_source d.Oracle.d_seed
+              (History.length d.Oracle.d_history)
+              (History.length d.Oracle.d_shrunk);
+            List.iter
+              (fun f -> Fmt.pr "  %a@." Oracle.pp_finding f)
+              d.Oracle.d_findings;
+            Fmt.pr "%s@." (Pretty.timeline d.Oracle.d_shrunk);
+            Fmt.pr "  text: %s@." (Parse.to_text d.Oracle.d_shrunk))
+          r.Oracle.r_discrepancies;
+        List.iter
+          (fun p -> Fmt.pr "# repro written: %s@." p)
+          r.Oracle.r_corpus_written;
+        (match json with
+        | None -> ()
+        | Some "-" -> print_string (Oracle.report_json cfg r)
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Oracle.report_json cfg r);
+            close_out oc);
+        Fmt.pr "# discrepancies: %d@." (List.length r.Oracle.r_discrepancies);
+        if r.Oracle.r_discrepancies <> [] then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Differential soak: drive random, recorded and fault-injected \
+          histories through every du-opacity checker path in lockstep \
+          (batch, fast, incremental, online monitor, optional loopback \
+          service), classify any divergence, auto-shrink it while the \
+          paths still disagree, and persist a deterministic repro into \
+          the regression corpus")
+    Term.(
+      const run $ seed $ iters $ seconds $ jobs $ sources $ serve $ corpus
+      $ no_corpus $ json $ max_nodes_arg $ quiet)
+
 (* --- tm monitor --------------------------------------------------------- *)
 
 let monitor_cmd =
@@ -625,6 +775,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; gen_cmd; run_cmd; chaos_cmd; monitor_cmd; serve_cmd;
-            submit_cmd; figures_cmd;
+            check_cmd; gen_cmd; run_cmd; chaos_cmd; soak_cmd; monitor_cmd;
+            serve_cmd; submit_cmd; figures_cmd;
           ]))

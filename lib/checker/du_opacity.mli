@@ -10,8 +10,11 @@
     started committing.
 
     Positive verdicts carry a certificate checked by
-    {!Serialization.validate}; du-opacity is prefix-closed (Corollary 2), so
-    a verdict for [H] sound for every prefix too. *)
+    {!Serialization.validate}.  Under the paper's unique-writes assumption
+    du-opacity is prefix-closed (Corollary 2), making a positive verdict
+    for [H] sound for every prefix too; with duplicate written values that
+    inference fails ({!Tm_figures.Findings.corollary2_gap}) — prefixes must
+    be judged on their own. *)
 
 val check : ?max_nodes:int -> ?hint:Event.tx list -> History.t -> Verdict.t
 

@@ -24,9 +24,11 @@ val project_prefix : History.t -> Serialization.t -> int -> Serialization.t
     value-based: an older retained writer of the same value may justify
     the read), and [Tm_figures.Findings.lemma1_gap] is an explicit
     counterexample where no serialization of the prefix inherits [S]'s
-    order.  Property tests confirm the construction on unique-writes
-    histories and the survival of Corollary 2's statement (prefix
-    du-opacity, by re-search) in general.  See EXPERIMENTS.md. *)
+    order.  Worse, the differential soak harness later found
+    [Tm_figures.Findings.corollary2_gap]: with duplicate writes Corollary
+    2's {e statement} itself fails — a du-opaque history with a
+    non-du-opaque prefix.  Property tests confirm the construction (and
+    the corollary) on unique-writes histories.  See EXPERIMENTS.md. *)
 
 val normalize_live_sets : History.t -> Serialization.t -> Serialization.t
 (** Lemma 4: given a serialization [S] of a history whose live sets are

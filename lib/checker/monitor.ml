@@ -25,6 +25,12 @@ type t = {
   mutable fastpath_hits : int;
   mutable searches_run : int;
   mutable nodes_total : int;
+  mutable pending : int;
+      (* transactions in [history] that are not yet t-complete, maintained
+         incrementally: +1 on a transaction's first invocation, -1 on its
+         C_k/A_k.  [snapshot] is taken per batch by the streaming service,
+         so recomputing this from [History.infos] (O(T log T)) would make
+         per-session accounting quadratic over a stream. *)
   seen : (Event.tx, unit) Hashtbl.t;
       (* transactions already in the running certificate's order — O(1)
          membership where scanning the order would make a long stream of
@@ -46,6 +52,7 @@ let create ?max_nodes () =
     fastpath_hits = 0;
     searches_run = 0;
     nodes_total = 0;
+    pending = 0;
     seen = Hashtbl.create 64;
   }
 
@@ -273,10 +280,18 @@ let push m ev =
               if not (Hashtbl.mem m.seen k) then begin
                 Hashtbl.replace m.seen k ();
                 m.rev_order <- k :: m.rev_order;
-                m.forward <- None
+                m.forward <- None;
+                m.pending <- m.pending + 1
               end;
               `Ok
           | Event.Res (k, res) ->
+              (* [extend] validated the response against [k]'s pending
+                 invocation, so C_k/A_k t-completes exactly one counted
+                 transaction; later events for [k] are ill-formed and never
+                 reach here. *)
+              (match res with
+              | Event.Committed | Event.Aborted -> m.pending <- m.pending - 1
+              | Event.Read_ok _ | Event.Write_ok -> ());
               m.responses_seen <- m.responses_seen + 1;
               handle_response m h' k res))
 
@@ -291,11 +306,7 @@ let history m = m.history
 let certificate m =
   match m.failed with None -> Some (force_forward m) | Some _ -> None
 
-let pending_txns m =
-  List.length
-    (List.filter
-       (fun txn -> not (Txn.is_t_complete txn))
-       (History.infos m.history))
+let pending_txns m = m.pending
 
 let violation_index m = m.violation_index
 let events_seen m = m.events_seen

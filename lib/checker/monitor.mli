@@ -1,13 +1,17 @@
 (** Online du-opacity verification, one event at a time.
 
-    This is Corollary 9 turned into a runtime verifier: du-opacity is
-    prefix-closed, and (under the restriction that transactions complete
-    their operations) limit-closed, so a TM implementation is du-opaque iff
-    every finite prefix it produces is — which is exactly what the monitor
-    checks as the events stream in.  Violations are {e sticky}: once a
-    prefix fails, every extension fails (prefix-closure read
-    contrapositively), so the monitor reports the first violating prefix
-    length and stops searching.
+    The monitor decides "is {e every prefix} of the stream so far
+    du-opaque?" — the safety closure of du-opacity, which is what
+    Corollary 9 turns into a runtime verifier: under the paper's
+    unique-writes assumption du-opacity is prefix-closed (Corollary 2) and
+    the closure coincides with du-opacity of the current history; with
+    duplicate written values it is strictly stronger, because an extension
+    can resurrect a dead prefix ({!Tm_figures.Findings.corollary2_gap}).
+    The closure is the right online property either way: a client that
+    observed a non-du-opaque prefix acted on an inconsistent snapshot at
+    that moment, and nothing committed later can retract it.  Violations
+    are therefore {e sticky} by definition — the monitor reports the first
+    violating prefix length and stops searching.
 
     Event ingestion is cheap by default.  Invocations extend the running
     certificate in O(1): the new pending operation aborts in a completion
@@ -53,7 +57,9 @@ val violation_index : t -> int option
 (** Length of the first violating prefix, if a violation occurred. *)
 
 val pending_txns : t -> int
-(** Transactions in the accepted stream that are not yet t-complete —
+(** Transactions in the accepted stream that are not yet t-complete, as an
+    O(1) gauge maintained by {!push} (the streaming service snapshots every
+    batch, so a recount per call would be quadratic over a stream) —
     including permanently-pending ones (crashed threads, stalled [tryC]s),
     which the monitor tracks indefinitely without corrupting its state:
     they sit in the certificate order and are resolved afresh, per search,

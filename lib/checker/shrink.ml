@@ -1,19 +1,17 @@
-let violates check h = Verdict.is_unsat (check h)
-
-let truncate_to_first_bad check h =
+let truncate_to_first_bad bad h =
   let lens = History.response_indices h @ [ History.length h ] in
   let lens = List.sort_uniq Int.compare lens in
-  match List.find_opt (fun i -> violates check (History.prefix h i)) lens with
+  match List.find_opt (fun i -> bad (History.prefix h i)) lens with
   | Some i -> History.prefix h i
   | None -> h
 
-let drop_transactions check h =
+let drop_transactions bad h =
   List.fold_left
     (fun h k ->
       if not (List.mem k (History.txns h)) then h
       else
         let candidate = History.project h ~keep:(fun k' -> k' <> k) in
-        if violates check candidate then candidate else h)
+        if bad candidate then candidate else h)
     h (History.txns h)
 
 (* Candidate operation removals: the event-index pairs of each complete
@@ -35,7 +33,7 @@ let remove_span h (a, b) =
   in
   match History.of_events events with Ok h' -> Some h' | Error _ -> None
 
-let drop_operations check h =
+let drop_operations bad h =
   (* One pass; spans are recomputed after each successful removal since
      indices shift. *)
   let rec go h =
@@ -43,7 +41,7 @@ let drop_operations check h =
       List.find_map
         (fun span ->
           match remove_span h span with
-          | Some candidate when violates check candidate -> Some candidate
+          | Some candidate when bad candidate -> Some candidate
           | Some _ | None -> None)
         (op_spans h)
     in
@@ -51,17 +49,20 @@ let drop_operations check h =
   in
   go h
 
+let minimal ~bad h =
+  if not (bad h) then None
+  else
+    let h = truncate_to_first_bad bad h in
+    let rec fixpoint h =
+      let h' = drop_operations bad (drop_transactions bad h) in
+      if History.length h' < History.length h then fixpoint h' else h'
+    in
+    Some (fixpoint h)
+
 let minimal_violation ?max_nodes ?check h =
   let check =
     match check with
     | Some f -> f
     | None -> fun h -> Du_opacity.check_fast ?max_nodes h
   in
-  if not (violates check h) then None
-  else
-    let h = truncate_to_first_bad check h in
-    let rec fixpoint h =
-      let h' = drop_operations check (drop_transactions check h) in
-      if History.length h' < History.length h then fixpoint h' else h'
-    in
-    Some (fixpoint h)
+  minimal ~bad:(fun h -> Verdict.is_unsat (check h)) h

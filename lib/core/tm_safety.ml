@@ -85,6 +85,10 @@ module Sim = struct
       campaign layer). *)
 end
 
+(** {1 The differential soak oracle ([tm soak])} *)
+
+module Oracle = Tm_oracle.Oracle
+
 (** {1 The streaming checking service ([tm serve])} *)
 
 module Service = struct

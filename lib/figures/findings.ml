@@ -39,11 +39,10 @@
     Theorem 5 (limit closure), which invoke Lemma 1, are incomplete as
     written for histories with duplicate writes; under the unique-writes
     assumption (the setting of Theorem 11) the proof step is valid and our
-    property tests confirm the construction never fails there.
-    Prefix-closure itself appears to {e survive} — the checker-level
-    property campaign (thousands of random duplicate-write histories) found
-    no violation of Corollary 2's statement, it is only the particular
-    projection construction that breaks. *)
+    property tests confirm the construction never fails there.  The
+    checker-level property campaigns long suggested Corollary 2's
+    {e statement} survived anyway — until the differential soak harness
+    ([tm soak]) found {!corollary2_gap} below. *)
 
 (** {2 Finding 2: the §4.2 rendering of TMS2 does not imply du-opacity}
 
@@ -55,6 +54,46 @@
     invokes [tryC], so no constraint fires) while famously not being
     du-opaque.  The test suite pins both facts.  This does not bear on the
     original TMS2, only on the paraphrase. *)
+
+(** {2 Finding 3: du-opacity is not prefix-closed under duplicate writes}
+
+    Corollary 2 states that every prefix of a du-opaque history is
+    du-opaque.  The differential soak harness found — and shrank to 23
+    events — a du-opaque history with duplicate writes whose prefix is not:
+    the statement itself fails once Lemma 1's unique-writes dependence
+    (Finding 1) is removed, not just the projection construction.
+
+    {!corollary2_gap} below, with the prefix boundary before [T7]'s [tryC]:
+
+    {v
+    T2: R(X)->0 W(Y,1) C
+    T4:     W(Y,2)   W(X,1)        tryC   C
+    T5:            W(X,3)  R(Y)->1   tryC   C
+    T7:                                       W(Y,1)      | tryC
+    T9:                                             R(X)->3
+    v}
+
+    In the full history [S = T2,T4,T7,T5,T9] with [T7] committed (its
+    pending [tryC] resolved to [C]) works: [T5]'s read of [Y=1] is served
+    {e globally} by [T7] (the latest committed writer) and {e locally} by
+    [T2] (the only retained writer — neither [T4] nor [T7] had invoked
+    [tryC] by the read's response).  Two different writers of the same
+    value justify the two legality clauses.  In the prefix, [T7] is live
+    and must abort — and then no order works: [R2(X)=0] forbids [T4]
+    before [T2], [R5(Y)=1] then forces [T4] after [T5], while [R9(X)=3]
+    forces [T4] before [T5].
+
+    Consequences: du-opacity {e as defined} is not a safety property on
+    duplicate-write histories (prefix-closure fails; Corollary 2 and with
+    it Theorem 5's limit-closure argument need the unique-writes
+    assumption).  Operationally, a sticky online monitor decides the
+    safety {e closure} of du-opacity — "every prefix so far is du-opaque"
+    — which is the right online property anyway: a client that observed a
+    non-du-opaque prefix has already acted on an inconsistent snapshot,
+    and no later commit can retract that.  The lockstep oracle
+    ({!Tm_oracle.Oracle.lockstep}) therefore arbitrates batch-vs-monitor
+    disagreements by re-judging the blamed prefix from scratch and calls
+    the duplicate-write case a benign [closure_gap]. *)
 
 open Dsl
 
@@ -85,3 +124,40 @@ let lemma1_gap : History.t * (Event.tx list * Event.tx list) * int =
 let lemma1_gap_projected_order = [ 1; 3; 5 ]
 
 let lemma1_gap_working_order = [ 1; 5; 3 ]
+
+(** Finding 3's counterexample: the full history is du-opaque, its prefix
+    (dropping [T7]'s [tryC] invocation, the last event) is not.  The test
+    suite verifies both verdicts, that {!corollary2_gap_witness} validates,
+    and that the oracle classifies the pair as a closure gap. *)
+let corollary2_gap : History.t * int =
+  let h =
+    history
+      [
+        r 2 x 0 (* 0-1 *);
+        w 2 y 1 (* 2-3 *);
+        w 4 y 2 (* 4-5 *);
+        c 2 (* 6-7 *);
+        w_inv 5 x 3 (* 8 *);
+        w_inv 4 x 1 (* 9 *);
+        w_ok 5 (* 10 *);
+        r 5 y 1 (* 11-12 *);
+        w_ok 4 (* 13 *);
+        c_inv 4 (* 14 *);
+        c_inv 5 (* 15 *);
+        committed 4 (* 16 *);
+        w_inv 7 y 1 (* 17 *);
+        committed 5 (* 18 *);
+        w_ok 7 (* 19 *);
+        r 9 x 3 (* 20-21 *);
+        (* --- prefix boundary: length 22; T7 is live there and must
+           abort, killing every serialization --- *)
+        c_inv 7 (* 22 *);
+      ]
+  in
+  (h, 22)
+
+(** A du-opaque serialization of the full history: [T7]'s pending [tryC]
+    resolves to commit, slotted between [T4] and [T5] so that [T5]'s read
+    of [Y=1] is served globally by [T7] and locally by [T2]. *)
+let corollary2_gap_witness : Event.tx list * Event.tx list =
+  ([ 2; 4; 7; 5; 9 ], [ 2; 4; 7; 5 ])

@@ -267,17 +267,29 @@ let project h ~keep =
   in
   of_events_exn events
 
+(* Events of each transaction in history order, newest first — one pass over
+   the events instead of one full filter per transaction (O(T·n)). *)
+let group_by_tx h =
+  let tbl = Hashtbl.create 16 in
+  for i = 0 to h.len - 1 do
+    let ev = h.buf.arr.(i) in
+    let k = Event.tx_of ev in
+    let prev = try Hashtbl.find tbl k with Not_found -> [] in
+    Hashtbl.replace tbl k (ev :: prev)
+  done;
+  tbl
+
 let equivalent h h' =
   let ts = List.sort Int.compare (txns h)
   and ts' = List.sort Int.compare (txns h') in
   List.equal Int.equal ts ts'
-  && List.for_all
-       (fun k ->
-         let per_tx hh =
-           List.filter (fun ev -> Event.tx_of ev = k) (to_list hh)
-         in
-         List.equal Event.equal (per_tx h) (per_tx h'))
-       ts
+  && (let g = group_by_tx h and g' = group_by_tx h' in
+      List.for_all
+        (fun k ->
+          (* Reversed on both sides, so comparing the rev-order groups
+             directly decides equality of the forward sequences. *)
+          List.equal Event.equal (Hashtbl.find g k) (Hashtbl.find g' k))
+        ts)
 
 let response_indices h =
   let acc = ref [] in

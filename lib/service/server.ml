@@ -106,6 +106,10 @@ let verdict_frame s ~token =
 
 (* --- shard workers -------------------------------------------------------- *)
 
+(* Fold the session's monitor counters into its shard's atomics.  Called on
+   every batch, so it leans on [Monitor.snapshot] being O(1) — including the
+   pending gauge, which used to recount [History.infos] per call and made
+   accounting quadratic over a session's stream. *)
 let account d s =
   let snap = Monitor.snapshot s.monitor in
   let add a n = if n <> 0 then ignore (Atomic.fetch_and_add a n) in

@@ -49,16 +49,34 @@ let listen ?(backlog = 64) addr =
 
 let rec write_all fd bytes pos len =
   if len > 0 then begin
-    let n = Unix.write fd bytes pos len in
-    write_all fd bytes (pos + n) (len - n)
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        write_all fd bytes pos len
   end
 
-let rec read_exact fd bytes pos len =
-  if len > 0 then begin
-    let n = Unix.read fd bytes pos len in
-    if n = 0 then raise Closed;
-    read_exact fd bytes (pos + n) (len - n)
-  end
+(* Read exactly [len] bytes into [bytes] at [pos].  EOF before the first
+   byte of a frame is a clean close ([Closed]); EOF once any byte of the
+   frame has been consumed — inside this read, or with [mid_frame] set by a
+   caller that already consumed the frame's header — tears the frame and
+   raises [Desync], so a connection dying mid-frame is never misreported as
+   a clean close that silently drops the partial frame.  EINTR retries. *)
+let read_exact ?(mid_frame = false) fd bytes pos len =
+  let rec go consumed pos len =
+    if len > 0 then begin
+      match Unix.read fd bytes pos len with
+      | 0 ->
+          if consumed then
+            raise
+              (Desync
+                 (Fmt.str "connection closed inside a frame (%d bytes short)"
+                    len))
+          else raise Closed
+      | n -> go true (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go consumed pos len
+    end
+  in
+  go mid_frame pos len
 
 (* Frames serialise into one contiguous byte string so a send is a single
    [write] loop under the caller's mutex — concurrent writers (one reader
@@ -99,7 +117,7 @@ let recv fd =
   if len <= 0 || len > Protocol.max_frame then
     raise (Desync (Fmt.str "frame length %d out of bounds" len));
   let body = Bytes.create len in
-  read_exact fd body 0 len;
+  read_exact ~mid_frame:true fd body 0 len;
   match Protocol.decode (Bytes.unsafe_to_string body) with
   | Ok frame -> Frame frame
   | Error msg -> Malformed msg

@@ -11,11 +11,13 @@ type addr = [ `Unix of string | `Tcp of string * int ]
 val pp_addr : Format.formatter -> addr -> unit
 
 exception Closed
-(** Peer closed the connection (EOF on a frame boundary or mid-frame). *)
+(** Peer closed the connection cleanly: EOF on a frame boundary. *)
 
 exception Desync of string
-(** The length prefix is unusable (zero, negative, or beyond
-    {!Protocol.max_frame}); the stream cannot be re-synchronised. *)
+(** The stream cannot be re-synchronised: the length prefix is unusable
+    (zero, negative, or beyond {!Protocol.max_frame}), or the connection
+    was torn {e inside} a frame — EOF after part of a frame's header or
+    body was consumed, which must not be mistaken for a clean close. *)
 
 val connect : addr -> Unix.file_descr
 (** Client side: connect (with [TCP_NODELAY] for TCP). *)
@@ -34,6 +36,7 @@ type input =
           caller may keep reading after reporting the error *)
 
 val recv : Unix.file_descr -> input
-(** @raise Closed on EOF.
-    @raise Desync on an unusable length prefix.
+(** Reads retry [EINTR] rather than aborting a frame.
+    @raise Closed on EOF at a frame boundary.
+    @raise Desync on an unusable length prefix or EOF mid-frame.
     @raise Unix.Unix_error as usual. *)

@@ -5,10 +5,45 @@ let yield () =
   with Effect.Unhandled _ ->
     failwith "Sched.yield: no scheduler is running"
 
+(* The runnable set, indexed exactly like the FIFO list it replaces: slot 0
+   is the oldest enqueued fiber, [push] appends after the newest, and
+   [remove i] closes the gap while preserving the relative order of the
+   survivors.  [choose] therefore sees the same [n] and the same meaning of
+   every index as before, so seeded schedules are bit-for-bit unchanged —
+   but enqueue is O(1) amortised and removal one [Array.blit] instead of
+   the former O(n) append + O(n) nth + O(n) filteri per slice. *)
+module Dynarray = struct
+  type 'a t = { mutable arr : 'a option array; mutable len : int }
+
+  let create () = { arr = Array.make 8 None; len = 0 }
+
+  let push q x =
+    let cap = Array.length q.arr in
+    if q.len = cap then begin
+      let arr = Array.make (2 * cap) None in
+      Array.blit q.arr 0 arr 0 q.len;
+      q.arr <- arr
+    end;
+    q.arr.(q.len) <- Some x;
+    q.len <- q.len + 1
+
+  let length q = q.len
+
+  let get q i =
+    match q.arr.(i) with
+    | Some x -> x
+    | None -> invalid_arg "Sched: empty runnable slot"
+
+  let remove q i =
+    Array.blit q.arr (i + 1) q.arr i (q.len - i - 1);
+    q.len <- q.len - 1;
+    q.arr.(q.len) <- None
+end
+
 let run ~choose fibers =
   (* Runnable fibers, each a thunk that advances one slice when called. *)
-  let runnable : (unit -> unit) list ref = ref [] in
-  let enqueue t = runnable := !runnable @ [ t ] in
+  let runnable : (unit -> unit) Dynarray.t = Dynarray.create () in
+  let enqueue t = Dynarray.push runnable t in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
@@ -27,16 +62,15 @@ let run ~choose fibers =
     (fun fiber -> enqueue (fun () -> Effect.Deep.match_with fiber () handler))
     fibers;
   let rec loop () =
-    match !runnable with
-    | [] -> ()
-    | fibers ->
-        let n = List.length fibers in
-        let i = choose n in
-        if i < 0 || i >= n then invalid_arg "Sched.run: chooser out of range";
-        let fiber = List.nth fibers i in
-        runnable := List.filteri (fun j _ -> j <> i) fibers;
-        fiber ();
-        loop ()
+    let n = Dynarray.length runnable in
+    if n > 0 then begin
+      let i = choose n in
+      if i < 0 || i >= n then invalid_arg "Sched.run: chooser out of range";
+      let fiber = Dynarray.get runnable i in
+      Dynarray.remove runnable i;
+      fiber ();
+      loop ()
+    end
   in
   loop ()
 

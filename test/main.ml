@@ -15,6 +15,8 @@ let () =
     @ Test_findings.suite
     @ Test_limit.suite
     @ Test_shrink.suite
+    @ Test_satellites.suite
+    @ Test_soak_corpus.suite
     @ Test_tools.suite
     @ Test_si.suite
     @ Test_codec.suite

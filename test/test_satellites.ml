@@ -1,0 +1,210 @@
+(* Regression tests for the plumbing fixed alongside the soak harness:
+   the scheduler's runnable queue, the monitor's pending gauge, wire-level
+   EOF semantics, and History.equivalent. *)
+
+open Tm_safety
+open Helpers
+
+(* --- seeded scheduler golden traces -------------------------------------
+
+   The runnable set moved from an O(n²) list to a random-access structure;
+   seeded schedules must stay bit-for-bit identical or every recorded
+   experiment in EXPERIMENTS.md silently changes.  These texts were captured
+   before the refactor. *)
+
+let golden_tl2_42 =
+  "W2(W,83)->ok R2(Y) R3(W) R1(W) ret3:0 R3(Z) ret1:0 R1(Y) ret2:0 \
+   R2(X)->0 C2 ret3:0 R3(W) ret1:0 R1(Z) ret3:A ret1:0 C1->C R5(Z) ret2:C \
+   R4(W) W6(Y,56)->ok R6(X) ret5:0 W5(W,59)->ok R5(W)->59 C5 ret6:0 \
+   R6(X)->0 C6 ret4:A ret5:C R8(W) R7(W)->59 R7(Z) ret8:59 R8(Z) ret7:0 \
+   R7(W) ret6:C W9(X,31)->ok R9(X)->31 W9(W,72)->ok C9 ret7:59 C7->C \
+   ret8:0 R8(X) R10(Z)->0 R10(Y) ret8:A ret10:56 R10(W) R11(W) ret10:A \
+   ret11:A R13(W) R12(Z) ret9:C R14(Z) ret13:72 R13(Z)->0 R13(X) ret12:0 \
+   R12(Y) ret14:0 R14(X) ret12:56 R12(W)->72 C12->C ret14:31 W14(X,21)->ok \
+   C14 R15(Y) ret13:A R16(W) ret15:56 R15(W)->72 R15(Y) ret16:72 R16(Z) \
+   ret14:C ret15:56 C15->C R17(Z) ret16:0 R16(X)->21 C16->C R18(X)->21 \
+   R18(Z) ret17:0 R17(Y) ret18:0 R18(W) ret17:56 W17(X,57)->ok C17 \
+   ret18:72 C18->C ret17:C"
+
+let golden_norec_7 =
+  "R1(X) W4(X,54)->ok W4(Y,48)->ok C4 R3(Z) ret1:0 R1(X) ret3:0 R3(Z) \
+   R2(X)->0 R2(Z) ret1:0 C1->C ret4:C W6(Z,22)->ok W6(Y,81)->ok C6->C \
+   R7(Y) W5(X,68)->ok W5(X,19)->ok C5 ret3:A ret5:C R9(Z)->22 W9(X,66)->ok \
+   C9 R8(Z) ret2:A R10(X) ret8:22 R8(Z) ret9:C ret8:22 C8->C ret10:66 \
+   R10(Z) R11(Z) ret7:81 W7(Z,86)->ok C7 ret10:22 C10->C ret11:22 R11(Z) \
+   R12(Y)->81 R12(Z) ret7:C ret11:A R13(Z)->86 R13(Z)->86 C13->C R14(Z) \
+   ret12:86 C12->C ret14:86 R14(X) W15(X,89)->ok W15(Z,99)->ok C15 \
+   ret14:66 C14->C ret15:C"
+
+let record ~stm ~threads ~txns ~ops ~vars ~seed =
+  let params =
+    {
+      Stm.Workload.default with
+      n_threads = threads;
+      txns_per_thread = txns;
+      ops_per_txn = ops;
+      n_vars = vars;
+      zipf_theta = 0.0;
+    }
+  in
+  Parse.to_text (Sim.Runner.run ~stm ~params ~seed ()).Sim.Runner.history
+
+let test_golden_tl2 () =
+  Alcotest.(check string) "tl2 seed 42" golden_tl2_42
+    (record ~stm:"tl2" ~threads:3 ~txns:4 ~ops:3 ~vars:4 ~seed:42)
+
+let test_golden_norec () =
+  Alcotest.(check string) "norec seed 7" golden_norec_7
+    (record ~stm:"norec" ~threads:4 ~txns:3 ~ops:2 ~vars:3 ~seed:7)
+
+(* --- the monitor's O(1) pending gauge ------------------------------------ *)
+
+let recompute_pending h =
+  List.length
+    (List.filter (fun t -> not (Txn.is_t_complete t)) (History.infos h))
+
+let prop_pending_gauge seed =
+  (* After every event, the gauge equals the count recomputed from the
+     transaction table — including histories that end with pending
+     operations and live transactions. *)
+  let params = { Gen.default with n_txns = 8; pending_ratio = 0.25 } in
+  let h = Gen.run_seed params seed in
+  let m = Monitor.create ~max_nodes:200_000 () in
+  List.for_all
+    (fun ev ->
+      ignore (Monitor.push m ev);
+      Monitor.pending_txns m = recompute_pending (Monitor.history m)
+      && (Monitor.snapshot m).Monitor.pending = Monitor.pending_txns m)
+    (History.to_list h)
+
+(* --- wire EOF semantics --------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let rec go pos = if pos < n then go (pos + Unix.write fd bytes pos (n - pos)) in
+  go 0
+
+let test_eof_at_boundary_is_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Service.Wire.recv b with
+      | _ -> Alcotest.fail "expected Closed"
+      | exception Service.Wire.Closed -> ())
+
+let test_eof_mid_body_is_desync () =
+  with_socketpair (fun a b ->
+      (* A header promising 100 bytes, then 10 bytes, then EOF. *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 100l;
+      write_all a header;
+      write_all a (Bytes.make 10 'x');
+      Unix.close a;
+      match Service.Wire.recv b with
+      | _ -> Alcotest.fail "expected Desync"
+      | exception Service.Wire.Desync _ -> ()
+      | exception Service.Wire.Closed ->
+          Alcotest.fail "mid-frame EOF reported as a clean close")
+
+let test_eof_mid_header_is_desync () =
+  with_socketpair (fun a b ->
+      write_all a (Bytes.make 2 '\000');
+      Unix.close a;
+      match Service.Wire.recv b with
+      | _ -> Alcotest.fail "expected Desync"
+      | exception Service.Wire.Desync _ -> ()
+      | exception Service.Wire.Closed ->
+          Alcotest.fail "mid-header EOF reported as a clean close")
+
+(* --- History.equivalent --------------------------------------------------- *)
+
+(* The specification, directly: same transactions, identical per-transaction
+   event subsequences.  The implementation regrouped this into a single
+   pass; they must coincide on arbitrary pairs. *)
+let reference_equivalent h h' =
+  let txs h = List.sort compare (History.txns h) in
+  let per h k =
+    List.filter (fun e -> Event.tx_of e = k) (History.to_list h)
+  in
+  List.equal Int.equal (txs h) (txs h')
+  && List.for_all
+       (fun k -> List.equal Event.equal (per h k) (per h' k))
+       (txs h)
+
+(* A per-transaction-order-preserving reshuffle: equivalent by construction. *)
+let reshuffle seed h =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let queues = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = Event.tx_of e in
+      Hashtbl.replace queues k
+        (match Hashtbl.find_opt queues k with
+        | Some es -> e :: es
+        | None -> [ e ]))
+    (History.to_list h);
+  let pending = Hashtbl.fold (fun k es l -> (k, ref (List.rev es)) :: l) queues [] in
+  let out = ref [] in
+  let live () = List.filter (fun (_, q) -> !q <> []) pending in
+  let rec drain () =
+    match live () with
+    | [] -> ()
+    | alive ->
+        let _, q = List.nth alive (Random.State.int st (List.length alive)) in
+        (match !q with
+        | e :: rest ->
+            q := rest;
+            out := e :: !out
+        | [] -> assert false);
+        drain ()
+  in
+  drain ();
+  History.of_events_exn (List.rev !out)
+
+let prop_equivalent_matches_reference seed =
+  let params = { Gen.default with n_txns = 6; pending_ratio = 0.2 } in
+  let h = Gen.run_seed params seed in
+  let shuffled = reshuffle seed h in
+  let other = Gen.run_seed params (seed + 1) in
+  let shorter =
+    if History.length h > 0 then History.prefix h (History.length h - 1)
+    else h
+  in
+  List.for_all
+    (fun h' ->
+      History.equivalent h h' = reference_equivalent h h'
+      && History.equivalent h' h = reference_equivalent h' h)
+    [ h; shuffled; other; shorter ]
+  && History.equivalent h shuffled
+
+let suite =
+  [
+    ( "scheduler: seeded golden traces",
+      [
+        test "tl2 seed 42 reproduces bit-for-bit" test_golden_tl2;
+        test "norec seed 7 reproduces bit-for-bit" test_golden_norec;
+      ] );
+    ( "monitor: pending gauge",
+      [
+        qtest ~count:100 "gauge = recomputed count after every event"
+          QCheck2.Gen.small_nat prop_pending_gauge;
+      ] );
+    ( "wire: EOF semantics",
+      [
+        test "EOF at a frame boundary is Closed" test_eof_at_boundary_is_closed;
+        test "EOF inside a body is Desync" test_eof_mid_body_is_desync;
+        test "EOF inside a header is Desync" test_eof_mid_header_is_desync;
+      ] );
+    ( "history: equivalent",
+      [
+        qtest ~count:200 "single-pass grouping matches the specification"
+          QCheck2.Gen.small_nat prop_equivalent_matches_reference;
+      ] );
+  ]

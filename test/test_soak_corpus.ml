@@ -1,0 +1,62 @@
+(* Replay the soak discrepancy corpus through the lockstep oracle.
+
+   Every [corpus/soak/*.repro] is a shrunk history that once made two
+   checker paths disagree (or, for closure-gap entries, exposed legitimate
+   non-prefix-closure first misread as a disagreement).  Replaying them on
+   every [dune runtest] keeps those bugs fixed: a repro whose findings come
+   back is a regression, named by its file.
+
+   The file format is self-describing: [#] lines are comments (provenance,
+   seed line, classification) and the body parses as a history.  A comment
+   line [# expect: closure-gap] additionally asserts the oracle flags the
+   benign gap. *)
+
+open Tm_safety
+open Helpers
+
+(* [dune runtest] runs the binary from [_build/default/test] (the corpus is
+   a declared dependency, materialised next to it); [dune exec] runs from
+   the project root. *)
+let corpus_dir =
+  List.find_opt Sys.file_exists [ "../corpus/soak"; "corpus/soak" ]
+  |> Option.value ~default:"../corpus/soak"
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let expects_gap text =
+  String.split_on_char '\n' text
+  |> List.exists (fun l -> String.trim l = "# expect: closure-gap")
+
+let replay file () =
+  let text = read_file (Filename.concat corpus_dir file) in
+  let h = Parse.of_string_exn text in
+  let r = Oracle.lockstep h in
+  (match r.Oracle.findings with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "%s regressed: %s" file
+        (String.concat "; " (List.map (Fmt.str "%a" Oracle.pp_finding) fs)));
+  if expects_gap text then
+    Alcotest.(check bool)
+      (file ^ ": closure gap still flagged")
+      true r.Oracle.closure_gap
+
+let entries =
+  match Sys.readdir corpus_dir with
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".repro")
+      |> List.sort compare
+  | exception Sys_error _ -> []
+
+let suite =
+  [
+    ( "soak corpus",
+      match entries with
+      | [] -> [ test "corpus present" (fun () -> Alcotest.fail "corpus/soak missing or empty") ]
+      | fs -> List.map (fun f -> test f (replay f)) fs );
+  ]
