@@ -180,7 +180,8 @@ let bench_inclusion () =
     Fmt.pr "  %-48s %5d / %d@." name !sat n
   in
   let is_sat f h = Verdict.is_sat (f h) in
-  count "du-opaque (snapshot-valued mix)" params (is_sat (Du_opacity.check ~max_nodes:500_000));
+  count "du-opaque (snapshot-valued mix)" params
+    (is_sat (fun h -> Du_opacity.check ~max_nodes:500_000 h));
   count "opaque" params (is_sat (Opacity.check ~max_nodes:500_000));
   count "final-state opaque" params (is_sat (Final_state.check ~max_nodes:500_000));
   (* implications, counted as violations *)
@@ -867,6 +868,55 @@ let bench_service () =
 
 (* --- main ---------------------------------------------------------------- *)
 
+(* --- verify: exhaustive DPOR verification (Perf T6) ----------------------- *)
+
+let bench_verify () =
+  let module V = Analysis.Verify in
+  (* Two campaigns over the same 4-transaction scope: a sparse workload
+     (few cross-fiber conflicts — every STM's schedule space collapses
+     under DPOR while the naive DFS blows through its budget) and a
+     contended one (real conflicts — the race analyzer must flag the
+     dirty-read/eager controls and the du-opacity checker catches eager
+     red-handed).  tl2 and 2pl sit out the contended round: their retry
+     loops push even the reduced schedule space past the budget. *)
+  let sparse = { V.default with naive_max_runs = 50_000 } in
+  let contended =
+    {
+      sparse with
+      V.seed = 5;
+      stms =
+        [
+          "norec"; "mvcc"; "tml"; "global-lock"; "pessimistic"; "dirty-read";
+          "eager";
+        ];
+    }
+  in
+  let campaign label cfg =
+    let t0 = Stm.Clock.now () in
+    let results = V.run cfg in
+    let wall = Stm.Clock.now () -. t0 in
+    if not !json_mode then begin
+      section_header (Fmt.str "tm verify — %s workload" label);
+      Fmt.pr "# %a, seed %d@." Stm.Workload.pp_params cfg.V.params cfg.V.seed;
+      Fmt.pr "%a" V.pp_table results;
+      List.iter
+        (fun (r : V.stm_result) ->
+          if Analysis.Race.racy r.r_races then
+            Fmt.pr "@.%a@." V.pp_result r)
+        results
+    end;
+    (label, cfg, wall, results)
+  in
+  let campaigns = [ campaign "sparse" sparse; campaign "contended" contended ] in
+  if !json_mode then
+    Fmt.pr {|{"bench": "verify", "campaigns": [%s]}@.|}
+      (String.concat ", "
+         (List.map
+            (fun (label, cfg, wall, results) ->
+              Fmt.str {|{"label": %S, "report": %s}|} label
+                (V.to_json cfg ~wall results))
+            campaigns))
+
 let sections =
   [
     ("figures", bench_figures);
@@ -879,6 +929,7 @@ let sections =
     ("stm-throughput", bench_stm_throughput);
     ("abort-rate", bench_abort_rate);
     ("monitor", bench_monitor);
+    ("verify", bench_verify);
     ("service", bench_service);
   ]
 

@@ -751,6 +751,136 @@ let submit_cmd =
           final verdict (same judgement and exit codes as tm monitor)")
     Term.(const run $ input_arg $ unix_arg $ tcp_arg $ session_arg $ chunk_arg)
 
+(* --- tm verify ----------------------------------------------------------- *)
+
+let verify_cmd =
+  let stms =
+    let names = List.map fst Stm.Registry.algorithms in
+    let stm_conv = Arg.enum (List.map (fun n -> (n, n)) names) in
+    Arg.(
+      value & opt (list stm_conv) []
+      & info [ "stm" ] ~docv:"STMS"
+          ~doc:"STM algorithms to verify (default: all).")
+  in
+  let threads = Arg.(value & opt int 2 & info [ "threads" ] ~doc:"Threads.") in
+  let txns =
+    Arg.(value & opt int 2 & info [ "txns" ] ~doc:"Transactions per thread.")
+  in
+  let ops =
+    Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Operations per transaction.")
+  in
+  let vars = Arg.(value & opt int 2 & info [ "vars" ] ~doc:"Variables.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let max_runs =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-runs" ] ~doc:"DPOR schedule budget.")
+  in
+  let naive_budget =
+    Arg.(
+      value & opt int 300_000
+      & info [ "naive-budget" ]
+          ~doc:
+            "Schedule budget for the naive branch-everywhere baseline \
+             (cross-checks the DPOR verdict set; 0 skips it).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Per-STM reports with race witnesses and first violations.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Write a JSON report to $(docv).")
+  in
+  let run stms threads txns ops vars seed max_runs naive_budget verbose json
+      max_nodes =
+    let cfg =
+      {
+        Analysis.Verify.stms;
+        params =
+          {
+            Stm.Workload.default with
+            n_threads = threads;
+            txns_per_thread = txns;
+            ops_per_txn = ops;
+            n_vars = vars;
+            read_ratio = 0.5;
+          };
+        seed;
+        max_runs;
+        naive_max_runs = naive_budget;
+        max_nodes = Option.value max_nodes ~default:1_000_000;
+      }
+    in
+    let t0 = Stm.Clock.now () in
+    let results =
+      List.map
+        (fun s ->
+          let r = Analysis.Verify.run_stm cfg s in
+          if verbose then Fmt.pr "%a@.@." Analysis.Verify.pp_result r;
+          r)
+        (match cfg.stms with
+        | [] -> List.map fst Stm.Registry.algorithms
+        | l -> l)
+    in
+    let wall = Stm.Clock.now () -. t0 in
+    Fmt.pr "# verify: %a, seed %d@." Stm.Workload.pp_params cfg.params
+      cfg.seed;
+    Fmt.pr "%a" Analysis.Verify.pp_table results;
+    Fmt.pr "# wall %.1fs@." wall;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Analysis.Verify.to_json cfg ~wall results);
+        close_out oc;
+        Fmt.pr "# wrote %s@." path);
+    if List.for_all Analysis.Verify.ok results then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Exhaustively verify the registered STMs on a small workload: \
+          DPOR-reduced schedule enumeration, du-opacity checks on every \
+          distinct history, happens-before race analysis on every \
+          schedule's access trace, and a naive-DFS verdict cross-check")
+    Term.(
+      const run $ stms $ threads $ txns $ ops $ vars $ seed $ max_runs
+      $ naive_budget $ verbose $ json_arg $ max_nodes_arg)
+
+(* --- tm lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let roots =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin" ]
+      & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin).")
+  in
+  let run roots =
+    let findings = Analysis.Lint.scan_roots roots in
+    List.iter (fun f -> Fmt.pr "%a@." Analysis.Lint.pp_finding f) findings;
+    match findings with
+    | [] ->
+        Fmt.pr "lint: clean@.";
+        0
+    | fs ->
+        Fmt.pr "lint: %d finding%s@." (List.length fs)
+          (if List.length fs = 1 then "" else "s");
+        1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Scan OCaml sources for polymorphic equality, comparison or \
+          hashing on history values (History.t / Event.t / Txn.t), which \
+          must go through the dedicated comparators")
+    Term.(const run $ roots)
+
 (* --- tm figures ---------------------------------------------------------- *)
 
 let figures_cmd =
@@ -776,5 +906,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; gen_cmd; run_cmd; chaos_cmd; soak_cmd; monitor_cmd;
-            serve_cmd; submit_cmd; figures_cmd;
+            serve_cmd; submit_cmd; verify_cmd; lint_cmd; figures_cmd;
           ]))

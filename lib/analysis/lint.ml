@@ -1,0 +1,311 @@
+type finding = { file : string; line : int; rule : string; text : string }
+
+let default_whitelist = [ "event.ml" ]
+
+(* --- source preparation ---------------------------------------------------
+
+   Blank out comments, string literals and character literals, preserving
+   line structure and column positions, so the token scan below never fires
+   inside documentation or message text.  Comments nest; double-quoted
+   strings handle backslash escapes; quoted strings are matched by
+   delimiter; a quote only starts a char literal for the quote-char-quote
+   and quote-escape shapes (leaving type variables and primed identifiers
+   alone). *)
+
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let is_ld c = (c >= 'a' && c <= 'z') || c = '_' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !depth > 0 then begin
+      (* inside a comment *)
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '"' then fin := true;
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if c = '{' && !i + 1 < n && (src.[!i + 1] = '|' || is_ld src.[!i + 1])
+    then begin
+      (* possible quoted string {id|...|id} *)
+      let j = ref (!i + 1) in
+      while !j < n && is_ld src.[!j] do incr j done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let cl = String.length close in
+        let k = ref (!j + 1) in
+        let stop = ref (-1) in
+        while !stop < 0 && !k + cl <= n do
+          if String.sub src !k cl = close then stop := !k else incr k
+        done;
+        let last = if !stop < 0 then n - 1 else !stop + cl - 1 in
+        for p = !i to last do blank p done;
+        i := last + 1
+      end
+      else incr i
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 1] = '\\' then begin
+      (* '\n' '\\' '\xNN' ... : blank through the closing quote *)
+      let j = ref (!i + 2) in
+      while !j < n && src.[!j] <> '\'' && src.[!j] <> '\n' do incr j done;
+      for p = !i to min !j (n - 1) do blank p done;
+      i := !j + 1
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 2] = '\'' && src.[!i + 1] <> '\\'
+    then begin
+      blank !i;
+      blank (!i + 1);
+      blank (!i + 2);
+      i := !i + 3
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* --- token helpers -------------------------------------------------------- *)
+
+let is_ident c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_op c = String.contains "=<>!&$%*+-/@^|~?:." c
+
+(* First occurrence of [w] in [s] at or after [i], or [-1]. *)
+let index_sub s i w =
+  let lw = String.length w and ls = String.length s in
+  let rec go i =
+    if i + lw > ls then -1
+    else if String.sub s i lw = w then i
+    else go (i + 1)
+  in
+  go i
+
+(* Find word [w] in [line] at a token boundary: neither side extends the
+   identifier, and with [no_dot] the preceding char is not [.] (so
+   [Int.compare] does not match bare [compare]) or [~] (labelled arg). *)
+let find_word ?(no_dot = false) line w =
+  let lw = String.length w and ll = String.length line in
+  let rec go i =
+    if i + lw > ll then None
+    else
+      match index_sub line i w with
+      | -1 -> None
+      | j ->
+          let pre_ok =
+            j = 0
+            ||
+            let p = line.[j - 1] in
+            (not (is_ident p)) && not (no_dot && (p = '.' || p = '~'))
+          in
+          let post_ok = j + lw >= ll || not (is_ident line.[j + lw]) in
+          if pre_ok && post_ok then Some j else go (j + 1)
+  in
+  go 0
+
+(* --- poly-eq rule --------------------------------------------------------- *)
+
+let protected_roots = [ "Event."; "History."; "Txn." ]
+
+(* Right-hand paths that denote scalars (ints / status constructors), for
+   which polymorphic comparison is fine and pervasive. *)
+let allowed_paths =
+  [
+    "Txn.Committed";
+    "Txn.Aborted";
+    "Txn.Commit_pending";
+    "Txn.Live";
+    "Event.init_value";
+  ]
+
+let ends_with_binder prefix =
+  (* [let f x], [and p], [{ field], [; field], [?(arg] or a bare field
+     name before the [=]: a binding or default, not a comparison. *)
+  let p = String.trim prefix in
+  let lp = String.length p in
+  if lp = 0 then true (* continuation line: ambiguous, stay quiet *)
+  else
+    (* A binder keyword with no [=] between it and our operator means the
+       whole stretch is the bound pattern ([let h, torn], [let f x y]). *)
+    let binder_kw =
+      List.exists
+        (fun k ->
+          let rec hunt i =
+            match find_word (String.sub p i (lp - i)) k with
+            | None -> false
+            | Some j ->
+                let after = String.sub p (i + j) (lp - i - j) in
+                (not (String.contains after '=')) || hunt (i + j + 1)
+          in
+          hunt 0)
+        [ "let"; "and"; "val"; "method"; "external"; "type" ]
+    in
+    (* A prefix that is nothing but a path ([history], [Foo.field]) is a
+       record-field binding in a multi-line literal. *)
+    let bare_field =
+      String.for_all (fun c -> is_ident c || c = '.') p
+    in
+    (* [{ field] / [; field]: an inline record-field binding. *)
+    let field_bind =
+      let j = ref lp in
+      while !j > 0 && (is_ident p.[!j - 1] || p.[!j - 1] = '.' || p.[!j - 1] = ' ')
+      do
+        decr j
+      done;
+      !j > 0 && (p.[!j - 1] = '{' || p.[!j - 1] = ';')
+    in
+    binder_kw || bare_field || field_bind
+    || p.[lp - 1] = '{' || p.[lp - 1] = ';' || p.[lp - 1] = '?'
+    || p.[lp - 1] = '~'
+
+let path_at line j =
+  (* Read a [Module.sub.path] starting at [j]. *)
+  let ll = String.length line in
+  let k = ref j in
+  while !k < ll && (is_ident line.[!k] || line.[!k] = '.') do incr k done;
+  String.sub line j (!k - j)
+
+let poly_eq_hits line =
+  let ll = String.length line in
+  let hits = ref [] in
+  let i = ref 0 in
+  while !i < ll do
+    let c = line.[!i] in
+    if is_op c then begin
+      (* widest operator token starting here *)
+      let j = ref !i in
+      while !j < ll && is_op line.[!j] do incr j done;
+      let op = String.sub line !i (!j - !i) in
+      (if op = "=" || op = "<>" || op = "==" || op = "!=" then begin
+         let k = ref !j in
+         while !k < ll && (line.[!k] = ' ' || line.[!k] = '(') do incr k done;
+         if
+           List.exists
+             (fun r ->
+               let rl = String.length r in
+               !k + rl <= ll && String.sub line !k rl = r)
+             protected_roots
+         then begin
+           let path = path_at line !k in
+           let binding =
+             op = "=" && ends_with_binder (String.sub line 0 !i)
+           in
+           if (not binding) && not (List.mem path allowed_paths) then
+             hits := !i :: !hits
+         end
+       end);
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !hits
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let scan_source ~file src =
+  let stripped = strip src in
+  let findings = ref [] in
+  let add line rule text = findings := { file; line; rule; text } :: !findings in
+  List.iteri
+    (fun idx line ->
+      let ln = idx + 1 in
+      let text () = String.trim line in
+      (match find_word line "Hashtbl.hash" with
+      | Some _ -> add ln "poly-hash" (text ())
+      | None -> ());
+      (match find_word line "Stdlib.compare" with
+      | Some _ -> add ln "poly-compare" (text ())
+      | None ->
+          (* bare, unqualified [compare] used as a value — not a definition
+             ([let compare], [val compare], ...) *)
+          (match find_word ~no_dot:true line "compare" with
+          | Some j ->
+              let defining =
+                let p = String.trim (String.sub line 0 j) in
+                let ends k =
+                  let kl = String.length k and pl = String.length p in
+                  pl >= kl
+                  && String.sub p (pl - kl) kl = k
+                  && (pl = kl || not (is_ident p.[pl - kl - 1]))
+                in
+                ends "let" || ends "and" || ends "rec" || ends "val"
+                || ends "method" || ends "external"
+              in
+              if not defining then add ln "poly-compare" (text ())
+          | None -> ()));
+      if poly_eq_hits line <> [] then add ln "poly-eq" (text ()))
+    (String.split_on_char '\n' stripped);
+  List.rev !findings
+
+let scan_files ?(whitelist = default_whitelist) files =
+  List.concat_map
+    (fun file ->
+      if List.mem (Filename.basename file) whitelist then []
+      else
+        let ic = open_in_bin file in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        scan_source ~file src)
+    files
+
+let scan_roots ?whitelist roots =
+  let files = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun e ->
+            if e <> "" && e.[0] <> '.' && e <> "_build" then
+              let p = Filename.concat dir e in
+              if Sys.is_directory p then walk p
+              else if Filename.check_suffix e ".ml" then files := p :: !files)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter (fun r -> if Sys.file_exists r then walk r) roots;
+  scan_files ?whitelist (List.sort String.compare !files)
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.text

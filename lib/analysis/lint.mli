@@ -1,0 +1,44 @@
+(** Static lint: no polymorphic comparison on history values.
+
+    [History.t], [Event.t] and [Txn.t] carry interned/derived structure
+    whose polymorphic ([Stdlib]) equality, ordering and hashing are
+    representation-dependent traps — the dedicated [Event.compare] and
+    friends are the supported entry points.  This pass greps the sources
+    (token-level, after stripping comments and string literals — it is a
+    tripwire, not a type checker) and reports:
+
+    - [poly-hash]: any use of [Hashtbl.hash];
+    - [poly-compare]: [Stdlib.compare] or bare unqualified [compare]
+      (qualified comparators — [Int.compare], [Event.compare], ... — are
+      the fix);
+    - [poly-eq]: [=] / [<>] / [==] / [!=] whose right operand is rooted in
+      [Event.] / [History.] / [Txn.], excluding the scalar literals
+      ([Txn.Committed] and the other status constructors,
+      [Event.init_value]) and binding positions ([let x = ...],
+      [{ field = ... }]).
+
+    Findings in whitelisted files (by basename — [event.ml] defines the
+    canonical comparator and may use [Stdlib.compare]) are suppressed.
+    Wired as [tm lint] and run over [lib/] + [bin/] by the test suite. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  rule : string;  (** [poly-hash] | [poly-compare] | [poly-eq] *)
+  text : string;  (** the offending source line, trimmed *)
+}
+
+val default_whitelist : string list
+(** File basenames exempt from the pass. *)
+
+val scan_source : file:string -> string -> finding list
+(** Lint one file's contents (the [file] name is only for reporting). *)
+
+val scan_files : ?whitelist:string list -> string list -> finding list
+(** Lint the given [.ml] files, skipping whitelisted basenames. *)
+
+val scan_roots : ?whitelist:string list -> string list -> finding list
+(** Recursively collect and lint every [.ml] under the given directories
+    (skipping [_build] and dot-directories), sorted by path. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,271 @@
+type access = {
+  step : int;
+  fiber : int;
+  kind : Tm_stm.Trace.kind;
+  txn : int option;
+}
+
+type race_kind = Dirty_read | Write_write
+
+type race = {
+  rkind : race_kind;
+  loc : int;
+  writer : access;
+  other : access;
+  witness : string;
+}
+
+type report = {
+  accesses : int;
+  locations : int;
+  sync_locations : int;
+  races : race list;
+}
+
+(* Per-fiber scan state. *)
+type fiber_state = {
+  mutable clock : Vclock.t;
+  mutable txn : int option;  (* inside an attempt, after its Began mark *)
+  mutable candidates : cand list;  (* suspect reads of the open attempt *)
+}
+
+and cand = { c_loc : int; c_read : access; c_writer : access; c_wclock : Vclock.t }
+
+(* --- witness rendering ---------------------------------------------------
+
+   A witness is the slice of the trace a reviewer needs: every access to
+   the racing location plus the involved fibers' attempt marks, between the
+   unsynchronized write and the point the race was established.  Long
+   windows elide the middle. *)
+
+let pp_entry ~norm ppf (s, e) =
+  match e with
+  | Tm_stm.Trace.Access { fiber; loc; kind } ->
+      Fmt.pf ppf "%6d  fiber %d  %a l%d" s fiber Tm_stm.Trace.pp_kind kind
+        (norm loc)
+  | Tm_stm.Trace.Mark { fiber; txn; mark } ->
+      Fmt.pf ppf "%6d  fiber %d  txn %d %s" s fiber txn
+        (match mark with
+        | Tm_stm.Trace.Began -> "began"
+        | Tm_stm.Trace.Committed -> "committed"
+        | Tm_stm.Trace.Aborted -> "aborted")
+
+let witness_string (trace : Tm_stm.Trace.t) ~norm ~loc ~fibers ~lo ~hi =
+  let keep s e =
+    s >= lo && s <= hi
+    &&
+    match e with
+    | Tm_stm.Trace.Access a -> norm a.loc = loc
+    | Tm_stm.Trace.Mark m -> List.mem m.fiber fibers
+  in
+  let lines = ref [] in
+  Array.iteri (fun s e -> if keep s e then lines := (s, e) :: !lines) trace;
+  let lines = List.rev !lines in
+  let shown =
+    let n = List.length lines in
+    if n <= 12 then List.map (Fmt.str "%a" (pp_entry ~norm)) lines
+    else
+      let head = List.filteri (fun i _ -> i < 5) lines in
+      let tail = List.filteri (fun i _ -> i >= n - 5) lines in
+      List.map (Fmt.str "%a" (pp_entry ~norm)) head
+      @ [ Fmt.str "  ... %d entries elided ..." (n - 10) ]
+      @ List.map (Fmt.str "%a" (pp_entry ~norm)) tail
+  in
+  String.concat "\n" shown
+
+(* --- the analysis --------------------------------------------------------- *)
+
+let analyze (trace : Tm_stm.Trace.t) =
+  (* Location normalization (order of first appearance) and sync
+     classification (any cas/fetch-add anywhere in the trace). *)
+  let norm_tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_loc = ref 0 in
+  let sync : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | Tm_stm.Trace.Access { loc; kind; _ } ->
+          let d =
+            match Hashtbl.find_opt norm_tbl loc with
+            | Some d -> d
+            | None ->
+                let d = !next_loc in
+                incr next_loc;
+                Hashtbl.add norm_tbl loc d;
+                d
+          in
+          (match kind with
+          | Tm_stm.Trace.Cas | Tm_stm.Trace.Fetch_add ->
+              Hashtbl.replace sync d ()
+          | Tm_stm.Trace.Read | Tm_stm.Trace.Write -> ())
+      | Tm_stm.Trace.Mark _ -> ())
+    trace;
+  let norm loc = Hashtbl.find norm_tbl loc in
+  (* Scan state. *)
+  let fibers : (int, fiber_state) Hashtbl.t = Hashtbl.create 8 in
+  let fiber f =
+    match Hashtbl.find_opt fibers f with
+    | Some fs -> fs
+    | None ->
+        let fs = { clock = Vclock.zero; txn = None; candidates = [] } in
+        Hashtbl.add fibers f fs;
+        fs
+  in
+  let sync_clock : (int, Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let last_write : (int, access * Vclock.t) Hashtbl.t = Hashtbl.create 64 in
+  let accesses = ref 0 in
+  (* Deduplicated findings, chronological. *)
+  let seen : (race_kind * int * int * int, unit) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let races = ref [] in
+  let report rkind ~loc ~(writer : access) ~(other : access) ~hi =
+    let pair = (min writer.fiber other.fiber, max writer.fiber other.fiber) in
+    let key = (rkind, loc, fst pair, snd pair) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let witness =
+        witness_string trace ~norm ~loc
+          ~fibers:[ writer.fiber; other.fiber ]
+          ~lo:writer.step ~hi
+      in
+      races := { rkind; loc; writer; other; witness } :: !races
+    end
+  in
+  Array.iteri
+    (fun step entry ->
+      match entry with
+      | Tm_stm.Trace.Mark { fiber = f; txn; mark } -> (
+          let fs = fiber f in
+          match mark with
+          | Tm_stm.Trace.Began -> fs.txn <- Some txn
+          | Tm_stm.Trace.Aborted ->
+              (* Aborted attempts never used their suspect reads. *)
+              fs.candidates <- [];
+              fs.txn <- None
+          | Tm_stm.Trace.Committed ->
+              (* Suspect reads that were neither revalidated nor aborted
+                 were committed without ever synchronizing on the write. *)
+              List.iter
+                (fun c ->
+                  report Dirty_read ~loc:c.c_loc ~writer:c.c_writer
+                    ~other:
+                      {
+                        c.c_read with
+                        txn = Some (Option.value c.c_read.txn ~default:txn);
+                      }
+                    ~hi:step)
+                (List.rev fs.candidates);
+              fs.candidates <- [];
+              fs.txn <- None)
+      | Tm_stm.Trace.Access { fiber = f; loc; kind } ->
+          incr accesses;
+          let fs = fiber f in
+          let d = norm loc in
+          if Hashtbl.mem sync d then begin
+            (* Acquire-release fence on the location's clock. *)
+            let l =
+              Option.value
+                (Hashtbl.find_opt sync_clock d)
+                ~default:Vclock.zero
+            in
+            fs.clock <- Vclock.tick (Vclock.join fs.clock l) f;
+            Hashtbl.replace sync_clock d fs.clock
+          end
+          else begin
+            let this () = { step; fiber = f; kind; txn = fs.txn } in
+            (if Tm_stm.Trace.is_write kind then (
+               (match Hashtbl.find_opt last_write d with
+               | Some (w, wc)
+                 when w.fiber <> f && not (Vclock.leq_at wc fs.clock w.fiber)
+                 ->
+                   report Write_write ~loc:d ~writer:w ~other:(this ())
+                     ~hi:step
+               | _ -> ());
+               fs.clock <- Vclock.tick fs.clock f;
+               Hashtbl.replace last_write d (this (), fs.clock))
+             else begin
+               (* A synchronized re-read of the same location revalidates
+                  earlier suspect reads of it: the value was confirmed
+                  after properly ordering the write (NOrec's value-based
+                  revalidation).  An unordered re-read confirms nothing. *)
+               fs.candidates <-
+                 List.filter
+                   (fun c ->
+                     c.c_loc <> d
+                     || not
+                          (Vclock.leq_at c.c_wclock fs.clock
+                             c.c_writer.fiber))
+                   fs.candidates;
+               (match Hashtbl.find_opt last_write d with
+               | Some (w, wc)
+                 when w.fiber <> f && not (Vclock.leq_at wc fs.clock w.fiber)
+                 ->
+                   (* Suspect: judged at the attempt's end mark. *)
+                   fs.candidates <-
+                     { c_loc = d; c_read = this (); c_writer = w; c_wclock = wc }
+                     :: fs.candidates
+               | _ -> ());
+               fs.clock <- Vclock.tick fs.clock f
+             end)
+          end)
+    trace;
+  {
+    accesses = !accesses;
+    locations = !next_loc;
+    sync_locations = Hashtbl.length sync;
+    races = List.rev !races;
+  }
+
+let racy r = r.races <> []
+
+let merge a b =
+  let seen = Hashtbl.create 8 in
+  let key r =
+    ( r.rkind,
+      r.loc,
+      min r.writer.fiber r.other.fiber,
+      max r.writer.fiber r.other.fiber )
+  in
+  let races =
+    List.filter
+      (fun r ->
+        if Hashtbl.mem seen (key r) then false
+        else begin
+          Hashtbl.add seen (key r) ();
+          true
+        end)
+      (a.races @ b.races)
+  in
+  {
+    accesses = max a.accesses b.accesses;
+    locations = max a.locations b.locations;
+    sync_locations = max a.sync_locations b.sync_locations;
+    races;
+  }
+
+let pp_kind ppf = function
+  | Dirty_read -> Fmt.string ppf "dirty read"
+  | Write_write -> Fmt.string ppf "write-write"
+
+let pp_txn ppf = function
+  | Some t -> Fmt.pf ppf ", txn %d" t
+  | None -> ()
+
+let pp_race ppf r =
+  Fmt.pf ppf "@[<v 2>%a on l%d: fiber %d %a (step %d%a) vs fiber %d's \
+              unsynchronized %a (step %d%a)@,%a@]"
+    pp_kind r.rkind r.loc r.other.fiber Tm_stm.Trace.pp_kind r.other.kind
+    r.other.step pp_txn r.other.txn r.writer.fiber Tm_stm.Trace.pp_kind
+    r.writer.kind r.writer.step pp_txn r.writer.txn Fmt.lines r.witness
+
+let pp_report ppf r =
+  if r.races = [] then
+    Fmt.pf ppf "no races (%d accesses, %d locations, %d sync)" r.accesses
+      r.locations r.sync_locations
+  else
+    Fmt.pf ppf "@[<v>%d race%s (%d accesses, %d locations, %d sync)@,%a@]"
+      (List.length r.races)
+      (if List.length r.races = 1 then "" else "s")
+      r.accesses r.locations r.sync_locations
+      Fmt.(list ~sep:(any "@,") pp_race)
+      r.races

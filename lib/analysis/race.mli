@@ -1,0 +1,79 @@
+(** Happens-before race analysis over recorded STM traces.
+
+    Consumes a {!Tm_stm.Trace.t} (every shared-memory access plus
+    transaction-attempt marks, as recorded by [Tm_sim.Runner] or
+    {!Tm_stm.Atomic_mem}) and reports the unsynchronized access pairs that
+    make an STM implementation racy — the property separating the
+    deliberately sloppy controls ([dirty-read], [eager]) from the properly
+    synchronized algorithms (TL2, NOrec, global-lock), independently of
+    whether the observed schedule happened to produce a violation.
+
+    {b The model.}  Locations that ever see a [cas] or [fetch_add] are
+    {e synchronization locations} (lock words, version clocks, sequence
+    locks); every access to one is treated as an acquire-release fence on
+    that location's clock, so accesses to a sync location are totally
+    ordered and never themselves reported.  All other locations hold data,
+    and two rules apply:
+
+    - {e Dirty read}: a read in a {e committed} attempt observed another
+      fiber's write it was not happens-before-ordered with — and the
+      attempt neither aborted (admitting TL2's validate-then-abort reads)
+      nor {e revalidated} the read before committing.  A revalidation is a
+      later read of the same location by the same attempt at a point where
+      the original write {e is} ordered — exactly NOrec's value-based
+      revalidation, which re-reads the read set after going through the
+      sequence lock.  A committed attempt retaining an unordered,
+      unrevalidated read has used a value it never synchronized on: a
+      zombie read.
+    - {e Write-write}: two writes to the same data location by different
+      fibers with no ordering between them, reported unconditionally —
+      well-synchronized deferred-update STMs only publish while holding a
+      lock.
+
+    Reported races are deduplicated per (rule, location, fiber pair),
+    keeping the chronologically first witness. *)
+
+type access = {
+  step : int;  (** index into the analyzed trace *)
+  fiber : int;
+  kind : Tm_stm.Trace.kind;
+  txn : int option;
+      (** the transaction attempt the access belongs to, when it executed
+          between that attempt's [Began] and its end mark *)
+}
+
+type race_kind = Dirty_read | Write_write
+
+type race = {
+  rkind : race_kind;
+  loc : int;  (** normalized location id (order of first appearance) *)
+  writer : access;  (** the unsynchronized write *)
+  other : access;
+      (** the racing access: the committed read ([Dirty_read]) or the
+          second write ([Write_write]) *)
+  witness : string;
+      (** shrunk, human-readable excerpt of the trace: the accesses to the
+          racing location and the involved fibers' attempt marks between
+          the two accesses *)
+}
+
+type report = {
+  accesses : int;  (** shared-memory accesses analyzed *)
+  locations : int;  (** distinct locations, after normalization *)
+  sync_locations : int;  (** locations classified as synchronization *)
+  races : race list;  (** deduplicated, in order of detection *)
+}
+
+val analyze : Tm_stm.Trace.t -> report
+
+val racy : report -> bool
+
+val merge : report -> report -> report
+(** Combine reports from different schedules of the same program (location
+    ids are comparable when both traces come from the same
+    [Tm_sim.Explore] session): unions the races, re-deduplicating, and
+    keeps the maximum of the size fields. *)
+
+val pp_kind : Format.formatter -> race_kind -> unit
+val pp_race : Format.formatter -> race -> unit
+val pp_report : Format.formatter -> report -> unit

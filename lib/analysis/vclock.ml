@@ -1,0 +1,19 @@
+type t = int array
+
+let zero = [||]
+let get c i = if i < Array.length c then c.(i) else 0
+
+let tick c i =
+  let n = max (Array.length c) (i + 1) in
+  let c' = Array.init n (fun j -> get c j) in
+  c'.(i) <- c'.(i) + 1;
+  c'
+
+let join a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i -> max (get a i) (get b i))
+
+let leq_at c c' owner = get c owner <= get c' owner
+
+let pp ppf c =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ",") int) c

@@ -1,0 +1,27 @@
+(** Vector clocks over fiber ids.
+
+    Persistent (operations return fresh clocks), with an implicit-zero
+    representation: components beyond the stored length are 0, so clocks
+    grow lazily as fiber ids appear.  Used by the happens-before engine
+    ({!Race}) to order recorded trace events. *)
+
+type t
+(** A vector clock; component [i] counts fiber [i]'s events. *)
+
+val zero : t
+
+val get : t -> int -> int
+(** [get c i] is component [i] (0 when never ticked). *)
+
+val tick : t -> int -> t
+(** [tick c i] increments component [i]. *)
+
+val join : t -> t -> t
+(** Component-wise maximum. *)
+
+val leq_at : t -> t -> int -> bool
+(** [leq_at c c' owner]: is the event with clock [c], performed by fiber
+    [owner], ordered at-or-before [c']?  For a clock taken at [owner]'s
+    event this single-component test is the full happens-before check. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,291 @@
+module Explore = Tm_sim.Explore
+module Du = Tm_checker.Du_opacity
+module Verdict = Tm_checker.Verdict
+
+type config = {
+  stms : string list;
+  params : Tm_stm.Workload.params;
+  seed : int;
+  max_runs : int;
+  naive_max_runs : int;
+  max_nodes : int;
+}
+
+let default =
+  {
+    stms = [];
+    params =
+      {
+        Tm_stm.Workload.default with
+        n_threads = 2;
+        txns_per_thread = 2;
+        ops_per_txn = 2;
+        n_vars = 2;
+        read_ratio = 0.5;
+      };
+    seed = 1;
+    max_runs = 200_000;
+    naive_max_runs = 300_000;
+    max_nodes = 1_000_000;
+  }
+
+type verdicts = {
+  sat : int;
+  unsat : int;
+  unknown : int;
+  first_unsat : string option;
+}
+
+type stm_result = {
+  r_stm : string;
+  r_dpor : Explore.outcome;
+  r_histories : int;
+  r_verdicts : verdicts;
+  r_races : Race.report;
+  r_racy_schedules : int;
+  r_naive : Explore.outcome option;
+  r_naive_histories : int;
+  r_naive_verdicts : verdicts option;
+  r_match : bool option;
+  r_seconds : float;
+}
+
+let empty_report =
+  { Race.accesses = 0; locations = 0; sync_locations = 0; races = [] }
+
+(* Judge a deduplicated history set. *)
+let verdicts_of cfg (histories : (string, History.t) Hashtbl.t) =
+  let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
+  let first_unsat = ref None in
+  Hashtbl.iter
+    (fun key h ->
+      match Du.check_fast ~max_nodes:cfg.max_nodes h with
+      | Verdict.Sat _ -> incr sat
+      | Verdict.Unsat why ->
+          incr unsat;
+          if !first_unsat = None then
+            first_unsat := Some (Fmt.str "%s@.%s" why (String.trim key))
+      | Verdict.Unknown _ -> incr unknown)
+    histories;
+  { sat = !sat; unsat = !unsat; unknown = !unknown; first_unsat = !first_unsat }
+
+let run_stm cfg stm =
+  (match Tm_stm.Registry.find stm with
+  | Some _ -> ()
+  | None -> ignore (Tm_stm.Registry.find_exn stm));
+  let t0 = Tm_stm.Clock.now () in
+  (* DPOR pass: record each schedule's history (deduplicated — DPOR visits
+     one interleaving per trace, but distinct traces can still commute into
+     the same history) and race-analyze its access trace. *)
+  let histories : (string, History.t) Hashtbl.t = Hashtbl.create 256 in
+  let races = ref empty_report in
+  let racy_schedules = ref 0 in
+  let on_result (r : Tm_sim.Runner.result) =
+    let key = Parse.to_text r.history in
+    if not (Hashtbl.mem histories key) then Hashtbl.add histories key r.history;
+    match r.trace with
+    | None -> ()
+    | Some t ->
+        let rep = Race.analyze t in
+        if Race.racy rep then incr racy_schedules;
+        races := Race.merge !races rep
+  in
+  let dpor =
+    Explore.explore_stm_results ~algo:`Dpor ~max_runs:cfg.max_runs
+      ~trace:true ~stm ~params:cfg.params ~seed:cfg.seed ~on_result ()
+  in
+  (* Verdicts over the distinct histories. *)
+  let dv = verdicts_of cfg histories in
+  (* Naive baseline: same transition system, branch-everywhere DFS.  The
+     naive enumeration sees every interleaving, DPOR one representative per
+     Mazurkiewicz trace; interleavings of the same trace can serialize the
+     history's events differently, so the comparable artifact is the {e set
+     of checker verdicts}, not the set of history texts. *)
+  let naive, naive_histories, naive_verdicts, matches =
+    if cfg.naive_max_runs <= 0 then (None, 0, None, None)
+    else begin
+      let nh : (string, History.t) Hashtbl.t = Hashtbl.create 256 in
+      let on_history h =
+        let key = Parse.to_text h in
+        if not (Hashtbl.mem nh key) then Hashtbl.add nh key h
+      in
+      let o =
+        Explore.explore_stm ~algo:`Naive ~max_runs:cfg.naive_max_runs ~stm
+          ~params:cfg.params ~seed:cfg.seed ~on_history ()
+      in
+      let nv = verdicts_of cfg nh in
+      let flags (v : verdicts) = (v.sat > 0, v.unsat > 0, v.unknown > 0) in
+      (* A truncated enumeration can only under-approximate. *)
+      let sub (a, b, c) (a', b', c') =
+        ((not a) || a') && ((not b) || b') && ((not c) || c')
+      in
+      let m =
+        match (dpor.Explore.exhaustive, o.Explore.exhaustive) with
+        | true, true -> flags nv = flags dv
+        | true, false -> sub (flags nv) (flags dv)
+        | false, true -> sub (flags dv) (flags nv)
+        | false, false -> true
+      in
+      (Some o, Hashtbl.length nh, Some nv, Some m)
+    end
+  in
+  {
+    r_stm = stm;
+    r_dpor = dpor;
+    r_histories = Hashtbl.length histories;
+    r_verdicts = dv;
+    r_races = !races;
+    r_racy_schedules = !racy_schedules;
+    r_naive = naive;
+    r_naive_histories = naive_histories;
+    r_naive_verdicts = naive_verdicts;
+    r_match = matches;
+    r_seconds = Tm_stm.Clock.now () -. t0;
+  }
+
+let run cfg =
+  let stms =
+    match cfg.stms with
+    | [] -> List.map fst Tm_stm.Registry.algorithms
+    | l -> l
+  in
+  List.map (run_stm cfg) stms
+
+let ok r =
+  r.r_verdicts.unknown = 0
+  && r.r_match <> Some false
+  &&
+  if List.mem r.r_stm Tm_stm.Registry.safe then
+    r.r_verdicts.unsat = 0 && not (Race.racy r.r_races)
+  else true
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let pp_outcome ppf (o : Explore.outcome) =
+  Fmt.pf ppf "%d run%s%s" o.runs
+    (if o.runs = 1 then "" else "s")
+    (if o.exhaustive then "" else " (cut)")
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v 2>%s: DPOR %a, %d pruned (%.1fx), %d distinct histories@,\
+     verdicts: %d sat / %d unsat / %d unknown@,races: %a (%d racy schedule%s)"
+    r.r_stm pp_outcome r.r_dpor r.r_dpor.schedules_pruned
+    r.r_dpor.reduction_factor r.r_histories r.r_verdicts.sat
+    r.r_verdicts.unsat r.r_verdicts.unknown Race.pp_report r.r_races
+    r.r_racy_schedules
+    (if r.r_racy_schedules = 1 then "" else "s");
+  (match r.r_naive with
+  | Some n ->
+      Fmt.pf ppf "@,naive: %a, %d distinct histories, %s" pp_outcome n
+        r.r_naive_histories
+        (match r.r_match with
+        | Some true when n.exhaustive -> "verdict sets EQUAL"
+        | Some true -> "naive verdicts ⊆ DPOR's"
+        | Some false -> "VERDICT MISMATCH"
+        | None -> "")
+  | None -> ());
+  (match r.r_verdicts.first_unsat with
+  | Some w -> Fmt.pf ppf "@,@[<v 2>first violation:@,%a@]" Fmt.lines w
+  | None -> ());
+  Fmt.pf ppf "@]"
+
+let pp_table ppf results =
+  Fmt.pf ppf "%-12s %9s %4s %7s %7s %9s %6s %5s/%5s %5s %5s@." "stm" "dpor"
+    "exh" "pruned" "factor" "naive" "match" "sat" "unsat" "races" "sec";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-12s %9d %4s %7d %7.1f %9s %6s %5d/%5d %5d %5.1f@."
+        r.r_stm r.r_dpor.Explore.runs
+        (if r.r_dpor.Explore.exhaustive then "yes" else "cut")
+        r.r_dpor.Explore.schedules_pruned r.r_dpor.Explore.reduction_factor
+        (match r.r_naive with
+        | Some n ->
+            Fmt.str "%d%s" n.Explore.runs
+              (if n.Explore.exhaustive then "" else "+")
+        | None -> "-")
+        (match r.r_match with
+        | Some true -> "ok"
+        | Some false -> "FAIL"
+        | None -> "-")
+        r.r_verdicts.sat r.r_verdicts.unsat
+        (List.length r.r_races.Race.races)
+        r.r_seconds)
+    results
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json cfg ~wall results =
+  let p = cfg.params in
+  let outcome_json (o : Explore.outcome) =
+    Fmt.str
+      {|{"runs": %d, "exhaustive": %b, "schedules_pruned": %d, "reduction_factor": %.2f}|}
+      o.runs o.exhaustive o.schedules_pruned o.reduction_factor
+  in
+  let race_json (r : Race.race) =
+    Fmt.str
+      {|{"kind": "%s", "loc": %d, "writer_fiber": %d, "other_fiber": %d, "witness": "%s"}|}
+      (match r.rkind with
+      | Race.Dirty_read -> "dirty-read"
+      | Race.Write_write -> "write-write")
+      r.loc r.writer.Race.fiber r.other.Race.fiber (json_escape r.witness)
+  in
+  let stm_json r =
+    Fmt.str
+      {|    {"stm": "%s",
+     "dpor": %s,
+     "naive": %s,
+     "verdict_sets_match": %s,
+     "distinct_histories": %d, "naive_distinct_histories": %d,
+     "verdicts": {"sat": %d, "unsat": %d, "unknown": %d},
+     "naive_verdicts": %s,
+     "racy_schedules": %d,
+     "races": [%s],
+     "seconds": %.3f,
+     "ok": %b}|}
+      r.r_stm
+      (outcome_json r.r_dpor)
+      (match r.r_naive with Some n -> outcome_json n | None -> "null")
+      (match r.r_match with
+      | Some b -> string_of_bool b
+      | None -> "null")
+      r.r_histories r.r_naive_histories r.r_verdicts.sat r.r_verdicts.unsat
+      r.r_verdicts.unknown
+      (match r.r_naive_verdicts with
+      | Some v ->
+          Fmt.str {|{"sat": %d, "unsat": %d, "unknown": %d}|} v.sat v.unsat
+            v.unknown
+      | None -> "null")
+      r.r_racy_schedules
+      (String.concat ", " (List.map race_json r.r_races.Race.races))
+      r.r_seconds (ok r)
+  in
+  Fmt.str
+    {|{
+  "bench": "verify",
+  "params": {"n_threads": %d, "txns_per_thread": %d, "ops_per_txn": %d,
+             "n_vars": %d, "read_ratio": %.2f, "seed": %d,
+             "max_runs": %d, "naive_max_runs": %d, "max_nodes": %d},
+  "wall_s": %.3f,
+  "stms": [
+%s
+  ]
+}
+|}
+    p.n_threads p.txns_per_thread p.ops_per_txn p.n_vars p.read_ratio cfg.seed
+    cfg.max_runs cfg.naive_max_runs cfg.max_nodes wall
+    (String.concat ",\n" (List.map stm_json results))

@@ -1,0 +1,73 @@
+(** Exhaustive small-scope verification of the registered STMs.
+
+    For each algorithm, enumerates {e every} schedule of a small workload
+    with {!Tm_sim.Explore} (DPOR by default), checks each distinct recorded
+    history with {!Tm_checker.Du_opacity.check_fast}, and runs the
+    happens-before race analyzer ({!Race}) over each schedule's
+    shared-memory trace.  Optionally replays the same workload under the
+    naive branch-everywhere DFS to cross-check the reduction: DPOR explores
+    one representative per Mazurkiewicz trace, so the {e set of distinct
+    histories} — and therefore the set of checker verdicts — must coincide
+    with the naive enumeration whenever the naive enumeration finishes.
+
+    This is the engine behind [tm verify]. *)
+
+type config = {
+  stms : string list;  (** registry names; [[]] means every algorithm *)
+  params : Tm_stm.Workload.params;
+  seed : int;
+  max_runs : int;  (** DPOR schedule budget *)
+  naive_max_runs : int;  (** naive-baseline budget; [0] skips the baseline *)
+  max_nodes : int;  (** du-opacity search budget per history *)
+}
+
+val default : config
+(** Every registered STM, a 4-transaction workload small enough for DPOR to
+    finish exhaustively, a naive baseline that typically gets cut off. *)
+
+type verdicts = {
+  sat : int;
+  unsat : int;
+  unknown : int;
+  first_unsat : string option;
+      (** pretty-printed explanation + history of the first violation *)
+}
+
+type stm_result = {
+  r_stm : string;
+  r_dpor : Tm_sim.Explore.outcome;
+  r_histories : int;  (** distinct histories over all DPOR schedules *)
+  r_verdicts : verdicts;  (** over distinct histories *)
+  r_races : Race.report;  (** merged over every schedule's trace *)
+  r_racy_schedules : int;
+  r_naive : Tm_sim.Explore.outcome option;
+  r_naive_histories : int;  (** distinct histories the baseline saw *)
+  r_naive_verdicts : verdicts option;
+  r_match : bool option;
+      (** verdict-set agreement with the baseline.  Interleavings of the
+          same Mazurkiewicz trace can serialize the history's events
+          differently, so history texts are not comparable across the two
+          enumerations — the verdict profile (is any history Sat / Unsat /
+          Unknown) is.  Equality when both enumerations finished,
+          [naive ⊆ DPOR] when one was cut off; [None] when no baseline
+          ran *)
+  r_seconds : float;
+}
+
+val run_stm : config -> string -> stm_result
+(** @raise Invalid_argument on an unknown STM name. *)
+
+val run : config -> stm_result list
+
+val ok : stm_result -> bool
+(** No [Unknown] verdicts, baseline agreement when one ran, and [safe]
+    algorithms all-[Sat] and race-free.  (Whether a control {e must} be
+    flagged depends on the workload actually having cross-fiber conflicts,
+    so that expectation lives with the contended configs in the tests and
+    the bench, not here.) *)
+
+val pp_result : Format.formatter -> stm_result -> unit
+val pp_table : Format.formatter -> stm_result list -> unit
+
+val to_json : config -> wall:float -> stm_result list -> string
+(** The BENCH_verify.json payload. *)

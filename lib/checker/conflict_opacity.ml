@@ -56,7 +56,10 @@ let conflict_graph h =
         (fun b -> if History.rt_precedes h a b then edges := (a, b) :: !edges)
         txns)
     txns;
-  List.sort_uniq compare !edges
+  List.sort_uniq
+    (fun (a, b) (a', b') ->
+      match Int.compare a a' with 0 -> Int.compare b b' | c -> c)
+    !edges
 
 let topological_order h edges =
   let txns = History.txns h in

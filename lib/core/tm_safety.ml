@@ -85,6 +85,15 @@ module Sim = struct
       campaign layer). *)
 end
 
+(** {1 Trace analysis and exhaustive verification ([tm verify], [tm lint])} *)
+
+module Analysis = struct
+  module Vclock = Tm_analysis.Vclock
+  module Race = Tm_analysis.Race
+  module Lint = Tm_analysis.Lint
+  module Verify = Tm_analysis.Verify
+end
+
 (** {1 The differential soak oracle ([tm soak])} *)
 
 module Oracle = Tm_oracle.Oracle

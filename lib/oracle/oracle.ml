@@ -415,7 +415,7 @@ let repro_text d =
   line "# source: %s  seed: %d  iter: %d" d.d_source d.d_seed d.d_iter;
   line "# kinds: %s"
     (String.concat ", "
-       (List.sort_uniq compare
+       (List.sort_uniq String.compare
           (List.map (fun f -> kind_to_string f.f_kind) d.d_findings)));
   List.iter (fun f -> line "#   %s" (Fmt.str "%a" pp_finding f)) d.d_findings;
   line "# shrunk: %d events (from %d; %d lockstep checks)"
@@ -566,7 +566,7 @@ let run cfg =
   else
     Array.iter Domain.join (Array.init cfg.jobs (fun _ -> Domain.spawn worker));
   let discrepancies =
-    List.sort (fun a b -> compare a.d_iter b.d_iter) acc.a_discrepancies
+    List.sort (fun a b -> Int.compare a.d_iter b.d_iter) acc.a_discrepancies
   in
   let written =
     match cfg.corpus_dir with
@@ -577,7 +577,7 @@ let run cfg =
     Hashtbl.fold
       (fun p (s, e) l -> { p_path = p; p_seconds = s; p_events = e } :: l)
       acc.a_paths []
-    |> List.sort (fun a b -> compare a.p_path b.p_path)
+    |> List.sort (fun a b -> String.compare a.p_path b.p_path)
   in
   {
     r_iterations = acc.a_iters;
@@ -624,7 +624,7 @@ let report_json cfg r =
      "text": "%s"}|}
       d.d_iter d.d_seed d.d_source
       (String.concat ", "
-         (List.sort_uniq compare
+         (List.sort_uniq String.compare
             (List.map
                (fun f -> Fmt.str "%S" (kind_to_string f.f_kind))
                d.d_findings)))

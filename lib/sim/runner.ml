@@ -1,12 +1,24 @@
-type result = { history : History.t; stats : Tm_stm.Harness.stats }
+type result = {
+  history : History.t;
+  stats : Tm_stm.Harness.stats;
+  trace : Tm_stm.Trace.t option;
+}
 
-let setup ?max_retries ?retry ?(faults = Tm_stm.Faults.none) ~stm ~params
-    ~seed () =
+let setup ?max_retries ?retry ?(faults = Tm_stm.Faults.none)
+    ?(trace = false) ~stm ~params ~seed () =
   let retry =
     match retry, max_retries with
     | Some r, _ -> r
     | None, Some n -> Tm_stm.Faults.retry_fixed n
     | None, None -> Tm_stm.Faults.retry_fixed 50
+  in
+  let sink =
+    if trace then begin
+      let s = Tm_stm.Trace.sink () in
+      Tm_stm.Trace.install s;
+      Some s
+    end
+    else None
   in
   let (module A : Tm_stm.Tm_intf.ALGORITHM) = Tm_stm.Registry.find_exn stm in
   let module T = A (Sim_mem) in
@@ -28,6 +40,35 @@ let setup ?max_retries ?retry ?(faults = Tm_stm.Faults.none) ~stm ~params
   in
   let log = ref [] in
   let emit ev = log := ev :: !log in
+  (* With a recorder installed, mirror transaction-attempt boundaries into
+     the trace so analyzers can attribute each access to the attempt that
+     performed it: [Began] at the attempt's first invocation (the accesses
+     of [begin_txn] precede it and are attributed to the same attempt),
+     [Committed]/[Aborted] at the response that ends the attempt. *)
+  let emit_marked thread =
+    match sink with
+    | None -> emit
+    | Some _ ->
+        let live = ref (-1) in
+        fun ev ->
+          (match ev with
+          | Event.Inv (id, _) ->
+              if !live <> id then begin
+                live := id;
+                Tm_stm.Trace.record_mark ~fiber:thread ~txn:id
+                  Tm_stm.Trace.Began
+              end
+          | Event.Res (id, Event.Committed) ->
+              live := -1;
+              Tm_stm.Trace.record_mark ~fiber:thread ~txn:id
+                Tm_stm.Trace.Committed
+          | Event.Res (id, Event.Aborted) ->
+              live := -1;
+              Tm_stm.Trace.record_mark ~fiber:thread ~txn:id
+                Tm_stm.Trace.Aborted
+          | Event.Res (_, _) -> ());
+          emit ev
+  in
   let ids = ref 1 in
   let next_id () =
     let id = !ids in
@@ -38,19 +79,26 @@ let setup ?max_retries ?retry ?(faults = Tm_stm.Faults.none) ~stm ~params
   let fibers =
     List.mapi
       (fun thread thread_prog () ->
-        Tm_stm.Harness.run_thread instance ~emit ~next_id ~stats
-          ~faults:injector ~pause ~retry ~thread thread_prog)
+        Tm_stm.Harness.run_thread instance ~emit:(emit_marked thread)
+          ~next_id ~stats ~faults:injector ~pause ~retry ~thread thread_prog)
       programs
   in
   let extract () =
     let events = Tm_stm.Faults.truncate faults (List.rev !log) in
-    { history = History.of_events_exn events; stats }
+    let trace =
+      Option.map
+        (fun s ->
+          Tm_stm.Trace.uninstall ();
+          Tm_stm.Trace.entries s)
+        sink
+    in
+    { history = History.of_events_exn events; stats; trace }
   in
   (fibers, extract)
 
-let run ?max_retries ?retry ?faults ~stm ~params ~seed () =
+let run ?max_retries ?retry ?faults ?trace ~stm ~params ~seed () =
   let fibers, extract =
-    setup ?max_retries ?retry ?faults ~stm ~params ~seed ()
+    setup ?max_retries ?retry ?faults ?trace ~stm ~params ~seed ()
   in
   Sched.run_seeded ~seed:(seed + 0x5eed) fibers;
   extract ()

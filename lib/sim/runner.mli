@@ -9,12 +9,19 @@
     with a fault plan: same [seed] and same [faults] — same (possibly
     incomplete) history. *)
 
-type result = { history : History.t; stats : Tm_stm.Harness.stats }
+type result = {
+  history : History.t;
+  stats : Tm_stm.Harness.stats;
+  trace : Tm_stm.Trace.t option;
+      (** the recorded shared-memory access trace, when [setup] was given
+          [~trace:true] *)
+}
 
 val setup :
   ?max_retries:int ->
   ?retry:Tm_stm.Faults.retry ->
   ?faults:Tm_stm.Faults.spec ->
+  ?trace:bool ->
   stm:string ->
   params:Tm_stm.Workload.params ->
   seed:int ->
@@ -24,12 +31,16 @@ val setup :
     {!Explore} re-invokes once per schedule.  [retry] overrides
     [max_retries] (which is kept as the historical shorthand for
     [Faults.retry_fixed], default 50 attempts); [faults] defaults to
-    {!Tm_stm.Faults.none}. *)
+    {!Tm_stm.Faults.none}.  [trace] (default false) installs a
+    {!Tm_stm.Trace} recorder for the run: every shared-memory access and
+    transaction-attempt boundary lands in [result.trace].  Recording adds
+    no scheduling points, so the schedule is identical either way. *)
 
 val run :
   ?max_retries:int ->
   ?retry:Tm_stm.Faults.retry ->
   ?faults:Tm_stm.Faults.spec ->
+  ?trace:bool ->
   stm:string ->
   params:Tm_stm.Workload.params ->
   seed:int ->

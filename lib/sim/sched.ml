@@ -1,9 +1,24 @@
-type _ Effect.t += Yield : unit Effect.t
+type annot =
+  | Start
+  | Pause
+  | Access of { loc : int; kind : Tm_stm.Trace.kind }
 
-let yield () =
-  try Effect.perform Yield
+type _ Effect.t += Yield : annot -> unit Effect.t
+
+let yield_annot a =
+  try Effect.perform (Yield a)
   with Effect.Unhandled _ ->
     failwith "Sched.yield: no scheduler is running"
+
+let yield () = yield_annot Pause
+let yield_access ~loc kind = yield_annot (Access { loc; kind })
+
+(* The fiber whose slice is currently executing; [-1] outside [run].
+   Everything is single-domain, so a plain ref suffices. *)
+let current_id = ref (-1)
+let current_fiber () = if !current_id < 0 then None else Some !current_id
+
+type fiber_info = { id : int; annot : annot }
 
 (* The runnable set, indexed exactly like the FIFO list it replaces: slot 0
    is the oldest enqueued fiber, [push] appends after the newest, and
@@ -40,10 +55,13 @@ module Dynarray = struct
     q.arr.(q.len) <- None
 end
 
-let run ~choose fibers =
-  (* Runnable fibers, each a thunk that advances one slice when called. *)
-  let runnable : (unit -> unit) Dynarray.t = Dynarray.create () in
-  let enqueue t = Dynarray.push runnable t in
+let run_info ~choose fibers =
+  (* Runnable fibers: id, pending annotation (what the fiber will do when
+     resumed), and the thunk advancing it one slice. *)
+  let runnable : (fiber_info * (unit -> unit)) Dynarray.t =
+    Dynarray.create ()
+  in
+  let enqueue info t = Dynarray.push runnable (info, t) in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
@@ -51,28 +69,42 @@ let run ~choose fibers =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Yield ->
+          | Yield annot ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  enqueue (fun () -> Effect.Deep.continue k ()))
+                  let id = !current_id in
+                  enqueue { id; annot } (fun () ->
+                      Effect.Deep.continue k ()))
           | _ -> None);
     }
   in
-  List.iter
-    (fun fiber -> enqueue (fun () -> Effect.Deep.match_with fiber () handler))
+  List.iteri
+    (fun id fiber ->
+      enqueue { id; annot = Start } (fun () ->
+          Effect.Deep.match_with fiber () handler))
     fibers;
   let rec loop () =
     let n = Dynarray.length runnable in
     if n > 0 then begin
-      let i = choose n in
+      let infos = Array.init n (fun i -> fst (Dynarray.get runnable i)) in
+      let i = choose infos in
       if i < 0 || i >= n then invalid_arg "Sched.run: chooser out of range";
-      let fiber = Dynarray.get runnable i in
+      let info, fiber = Dynarray.get runnable i in
       Dynarray.remove runnable i;
+      current_id := info.id;
       fiber ();
+      current_id := -1;
       loop ()
     end
   in
-  loop ()
+  (try loop ()
+   with e ->
+     current_id := -1;
+     raise e);
+  current_id := -1
+
+let run ~choose fibers =
+  run_info ~choose:(fun infos -> choose (Array.length infos)) fibers
 
 let run_random rng fibers =
   run ~choose:(fun n -> Random.State.int rng n) fibers

@@ -1,34 +1,50 @@
-(** {!Tm_stm.Mem_intf.MEM} for the simulator: plain references behind a
+(** {!Tm_stm.Mem_intf.MEM} for the simulator: plain storage behind a
     scheduling point.  Yielding {e before} each access makes every memory
     operation a potential context switch, so the scheduler can produce any
     interleaving a sequentially-consistent machine could — at exactly the
     granularity the STM algorithms synchronise at.  Single-domain, hence
-    race-free and deterministic. *)
+    race-free and deterministic.
 
-type 'a cell = 'a ref
+    Every cell carries a {!Tm_stm.Trace} location id; yields announce the
+    upcoming access ({!Sched.yield_access}), which is what the DPOR
+    explorer's dependency relation is computed from, and an installed
+    {!Tm_stm.Trace} recorder logs the access as it executes.  Neither adds
+    a scheduling point, so seeded schedules are unperturbed. *)
 
-let make v = ref v
+type 'a cell = { mutable v : 'a; id : int }
+
+let make v = { v; id = Tm_stm.Trace.fresh_loc () }
+
+let note c kind =
+  if Tm_stm.Trace.installed () then
+    match Sched.current_fiber () with
+    | Some fiber -> Tm_stm.Trace.record ~fiber ~loc:c.id kind
+    | None -> ()
 
 let get c =
-  Sched.yield ();
-  !c
+  Sched.yield_access ~loc:c.id Tm_stm.Trace.Read;
+  note c Tm_stm.Trace.Read;
+  c.v
 
 let set c v =
-  Sched.yield ();
-  c := v
+  Sched.yield_access ~loc:c.id Tm_stm.Trace.Write;
+  note c Tm_stm.Trace.Write;
+  c.v <- v
 
 let cas c expected desired =
-  Sched.yield ();
-  if !c = expected then begin
-    c := desired;
+  Sched.yield_access ~loc:c.id Tm_stm.Trace.Cas;
+  note c Tm_stm.Trace.Cas;
+  if c.v = expected then begin
+    c.v <- desired;
     true
   end
   else false
 
 let fetch_add c n =
-  Sched.yield ();
-  let v = !c in
-  c := v + n;
+  Sched.yield_access ~loc:c.id Tm_stm.Trace.Fetch_add;
+  note c Tm_stm.Trace.Fetch_add;
+  let v = c.v in
+  c.v <- v + n;
   v
 
 let pause = Sched.yield

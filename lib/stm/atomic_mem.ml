@@ -1,11 +1,32 @@
 (** {!Mem_intf.MEM} over OCaml 5 [Atomic] cells — the real-memory world used
-    when running STMs on domains. *)
+    when running STMs on domains.
 
-type 'a cell = 'a Atomic.t
+    Each cell carries a {!Trace} location id so an installed recorder can
+    log every access (tagged with the executing domain); without a
+    recorder the per-access overhead is one load and one branch. *)
 
-let make = Atomic.make
-let get = Atomic.get
-let set = Atomic.set
-let cas = Atomic.compare_and_set
-let fetch_add = Atomic.fetch_and_add
+type 'a cell = { a : 'a Atomic.t; id : int }
+
+let note c kind =
+  if Trace.installed () then
+    Trace.record ~fiber:(Domain.self () :> int) ~loc:c.id kind
+
+let make v = { a = Atomic.make v; id = Trace.fresh_loc () }
+
+let get c =
+  note c Trace.Read;
+  Atomic.get c.a
+
+let set c v =
+  note c Trace.Write;
+  Atomic.set c.a v
+
+let cas c expected desired =
+  note c Trace.Cas;
+  Atomic.compare_and_set c.a expected desired
+
+let fetch_add c n =
+  note c Trace.Fetch_add;
+  Atomic.fetch_and_add c.a n
+
 let pause = Domain.cpu_relax

@@ -38,7 +38,7 @@ module type TM = sig
 end
 
 (** An STM algorithm: a [TM] for any memory. *)
-module type ALGORITHM = functor (M : Mem_intf.MEM) -> TM
+module type ALGORITHM = functor (_ : Mem_intf.MEM) -> TM
 
 (** A [TM] instantiated over a concrete state, so runners can drive it
     without functor plumbing. *)

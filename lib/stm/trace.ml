@@ -1,0 +1,71 @@
+type kind = Read | Write | Cas | Fetch_add
+
+let is_write = function Read -> false | Write | Cas | Fetch_add -> true
+
+let pp_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Read -> "read"
+    | Write -> "write"
+    | Cas -> "cas"
+    | Fetch_add -> "fetch-add")
+
+type mark = Began | Committed | Aborted
+
+type entry =
+  | Access of { fiber : int; loc : int; kind : kind }
+  | Mark of { fiber : int; txn : int; mark : mark }
+
+type t = entry array
+
+(* Location ids are handed out for the whole process (cells are created
+   from several domains in the Atomic_mem world); analyzers densify them
+   by first appearance, so the absolute values never matter. *)
+let loc_counter = Atomic.make 0
+let fresh_loc () = Atomic.fetch_and_add loc_counter 1
+let loc_mark () = Atomic.get loc_counter
+let loc_reset m = Atomic.set loc_counter m
+
+type sink = { lock : Mutex.t; mutable entries : entry list; mutable n : int }
+
+let sink () = { lock = Mutex.create (); entries = []; n = 0 }
+
+let push s e =
+  Mutex.lock s.lock;
+  s.entries <- e :: s.entries;
+  s.n <- s.n + 1;
+  Mutex.unlock s.lock
+
+let entries s =
+  Mutex.lock s.lock;
+  let l = s.entries and n = s.n in
+  Mutex.unlock s.lock;
+  let a = Array.make n (Mark { fiber = 0; txn = 0; mark = Began }) in
+  let i = ref (n - 1) in
+  List.iter
+    (fun e ->
+      a.(!i) <- e;
+      decr i)
+    l;
+  a
+
+let length s =
+  Mutex.lock s.lock;
+  let n = s.n in
+  Mutex.unlock s.lock;
+  n
+
+let current : sink option ref = ref None
+let install s = current := Some s
+let uninstall () = current := None
+let installed () = Option.is_some !current
+
+let record ~fiber ~loc kind =
+  match !current with
+  | None -> ()
+  | Some s -> push s (Access { fiber; loc; kind })
+
+let record_mark ~fiber ~txn mark =
+  match !current with
+  | None -> ()
+  | Some s -> push s (Mark { fiber; txn; mark })

@@ -1,0 +1,82 @@
+(** Shared-memory access recording for the analysis layer.
+
+    Both memory worlds ({!Atomic_mem} on real domains, [Tm_sim.Sim_mem]
+    under the deterministic scheduler) report every [get]/[set]/[cas]/
+    [fetch_add] here when a recorder is installed, tagged with the
+    executing fiber (simulation) or domain (real memory), a stable
+    per-cell location id and the access kind.  The runners interleave
+    transaction-attempt marks derived from the emitted history events, so
+    an analyzer can attribute each access to the attempt that performed it
+    and to that attempt's fate.
+
+    Recording is strictly passive: no extra scheduling points are
+    introduced, so seeded simulator schedules are bit-for-bit identical
+    with and without a recorder (the golden-trace tests guard this).  When
+    no recorder is installed the per-access cost is one load and one
+    branch. *)
+
+type kind = Read | Write | Cas | Fetch_add
+
+val is_write : kind -> bool
+(** Conservative may-write classification: [Cas] counts as a write even
+    when it fails (whether it fails depends on the schedule). *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type mark = Began | Committed | Aborted
+(** Transaction-attempt boundaries, derived from history events: [Began]
+    at the attempt's first invocation, [Committed]/[Aborted] at the
+    response that ends it.  Crashed or stalled attempts never end. *)
+
+type entry =
+  | Access of { fiber : int; loc : int; kind : kind }
+  | Mark of { fiber : int; txn : int; mark : mark }
+
+type t = entry array
+(** A recorded trace; the array index is the access's global step. *)
+
+val fresh_loc : unit -> int
+(** A process-unique location id for a newly created cell.  Ids are never
+    reused (but see {!loc_reset}); analyzers should normalise them by order
+    of first appearance (cell creation order is deterministic per
+    program). *)
+
+val loc_mark : unit -> int
+(** The current allocation mark, for {!loc_reset}. *)
+
+val loc_reset : int -> unit
+(** Rewind the id allocator to a {!loc_mark}.  For stateless re-execution
+    ([Tm_sim.Explore]): re-running a deterministic program from scratch
+    re-creates its cells in the same order, and rewinding first gives every
+    incarnation of a cell the {e same} id — which is what lets the explorer
+    relate accesses across executions.  Must not be interleaved with
+    allocations by live cells' users on other domains. *)
+
+(** {1 Recording} *)
+
+type sink
+
+val sink : unit -> sink
+(** A fresh, empty recorder.  Safe to fill from multiple domains (pushes
+    are mutex-protected). *)
+
+val entries : sink -> t
+(** Snapshot of everything recorded so far, in record order. *)
+
+val length : sink -> int
+
+val install : sink -> unit
+(** Route all subsequent accesses/marks into [sink] (replacing any
+    previously installed recorder). *)
+
+val uninstall : unit -> unit
+
+val installed : unit -> bool
+
+val record : fiber:int -> loc:int -> kind -> unit
+(** Called by the memory implementations on every access; no-op unless a
+    recorder is installed. *)
+
+val record_mark : fiber:int -> txn:int -> mark -> unit
+(** Called by the runners at transaction-attempt boundaries; no-op unless
+    a recorder is installed. *)
