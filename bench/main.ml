@@ -731,7 +731,185 @@ let domain_hit_rate (d : Service.Protocol.domain_stats) =
   if d.responses = 0 then 0.
   else float_of_int d.fastpath_hits /. float_of_int d.responses
 
-let service_json ~endpoint ~wall ~sessions workers stats =
+(* --- overload phase: percentiles while the degradation ladder engages ----- *)
+
+(* A deliberately tiny shard queue (hwm 2) and slow drain pressure from
+   many concurrent sessions: most Events_at frames bounce off the
+   high-watermark, so checkpoint round-trips are measured while the
+   server is actively throttling — the p50/p99-under-overload columns
+   BENCH_service.json tracks.  Every worker still finishes its stream
+   (throttled frames are re-sent from the acked index), so verdict parity
+   is asserted under overload too. *)
+
+type overload_result = {
+  ov_events : int;
+  ov_wall : float;
+  ov_throttles : int;
+  ov_sheds : int;
+  ov_mismatches : int;
+  ov_latencies : float array;  (* sorted checkpoint RTTs, seconds *)
+}
+
+let bench_service_overload () =
+  let srv =
+    Service.Server.start
+      (Service.Server.config ~domains:2 ~queue_capacity:4 ~hwm:2
+         ~throttle_sample:1_000 ~throttle_shed:1_000_000
+         (`Tcp ("127.0.0.1", 0)))
+  in
+  let addr = Service.Server.bound_addr srv in
+  let stream = List.hd (service_streams ()) in
+  let n = stream.ss_len in
+  let throttles = Atomic.make 0 in
+  let sheds = Atomic.make 0 in
+  let mismatches = Atomic.make 0 in
+  let events = Atomic.make 0 in
+  let lat_mutex = Mutex.create () in
+  let latencies = ref [] in
+  let worker _i =
+    let c = Service.Client.connect addr in
+    Service.Client.open_session c 1;
+    let arr = Array.of_list stream.ss_events in
+    let rec drive cursor guard =
+      if cursor >= n || guard > 200 * n then cursor
+      else begin
+        let k = min 8 (n - cursor) in
+        Service.Client.send_events_at c 1 ~from:cursor
+          (Array.to_list (Array.sub arr cursor k));
+        let t0 = Stm.Clock.now () in
+        let v = Service.Client.checkpoint c 1 in
+        let rtt = Stm.Clock.now () -. t0 in
+        Mutex.lock lat_mutex;
+        latencies := rtt :: !latencies;
+        Mutex.unlock lat_mutex;
+        drive (max cursor v.Service.Protocol.applied) (guard + 1)
+      end
+    in
+    let final = drive 0 0 in
+    let v = Service.Client.close_session c 1 in
+    if final = n && v.Service.Protocol.status <> stream.ss_expected then
+      Atomic.incr mismatches;
+    Atomic.set events (Atomic.get events + final);
+    Atomic.set throttles (Atomic.get throttles + Service.Client.throttled c);
+    if Service.Client.shed c <> None then Atomic.incr sheds;
+    Service.Client.close c
+  in
+  let t0 = Stm.Clock.now () in
+  let threads = List.init 8 (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  let wall = Stm.Clock.now () -. t0 in
+  Service.Server.stop srv;
+  {
+    ov_events = Atomic.get events;
+    ov_wall = wall;
+    ov_throttles = Atomic.get throttles;
+    ov_sheds = Atomic.get sheds;
+    ov_mismatches = Atomic.get mismatches;
+    ov_latencies = List.sort compare !latencies |> Array.of_list;
+  }
+
+(* --- recovery phase: crash, restart, resume -------------------------------- *)
+
+(* How long a client is actually locked out when the server process dies:
+   from the moment the replacement starts until Resume answers with the
+   durably-applied index — i.e. session registry lookup + snapshot-load +
+   journal-tail replay for the sizes below. *)
+
+type recovery_result = {
+  rc_events : int;
+  rc_tail : int;  (* journalled events past the last snapshot *)
+  rc_recovery_ms : float;
+  rc_parity : bool;  (* resumed session finished with the offline verdict *)
+}
+
+let bench_service_recovery () =
+  let scratch =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "tm-bench-recovery-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun nm -> rm_rf (Filename.concat path nm))
+          (try Sys.readdir path with Sys_error _ -> [||]);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  (* [snapshot = true]: checkpoint before the crash, so recovery is a
+     snapshot-load.  [snapshot = false]: never checkpoint, so recovery
+     replays the whole journalled prefix event by event — the worst
+     case.  Either way the resumed client re-sends from the acked index
+     and the final verdict is checked against the offline monitor. *)
+  let one ~txns ~seed ~snapshot =
+    rm_rf scratch;
+    Unix.mkdir scratch 0o755;
+    let events = History.to_list (tl2_history ~txns ~seed) in
+    let arr = Array.of_list events in
+    let n = List.length events in
+    let expected =
+      let m = Monitor.create () in
+      match Monitor.push_all m events with
+      | `Ok -> Service.Protocol.S_ok
+      | `Violation why -> Service.Protocol.S_violation why
+      | `Budget why -> Service.Protocol.S_budget why
+    in
+    let addr = `Unix (Filename.concat scratch "sock") in
+    let cfg =
+      Service.Server.config ~domains:2
+        ~journal_dir:(Filename.concat scratch "journal")
+        addr
+    in
+    let srv = Service.Server.start cfg in
+    let c = Service.Client.connect addr in
+    Service.Client.open_session c 1;
+    Service.Client.send_events_at c 1 ~from:0 events;
+    if snapshot then ignore (Service.Client.checkpoint c 1)
+    else
+      (* no checkpoint: give the shard a moment to drain (and journal)
+         the stream; whatever is still queued is legitimately lost *)
+      Thread.delay 0.3;
+    Service.Server.crash srv;
+    (try Unix.close (Service.Client.fd c) with Unix.Unix_error _ -> ());
+    let t0 = Stm.Clock.now () in
+    let srv2 = Service.Server.start cfg in
+    let c2 = Service.Client.connect addr in
+    let applied =
+      match Service.Client.resume c2 1 ~from:0 with
+      | Ok (applied, _, _) -> applied
+      | Error (code, msg) ->
+          Fmt.failwith "bench recovery: resume: %a: %s"
+            Service.Protocol.pp_error_code code msg
+    in
+    let recovery_ms = (Stm.Clock.now () -. t0) *. 1e3 in
+    if applied < n then
+      Service.Client.send_events_at c2 1 ~from:applied
+        (Array.to_list (Array.sub arr applied (n - applied)));
+    let v = Service.Client.close_session c2 1 in
+    let parity =
+      v.Service.Protocol.applied = n && v.Service.Protocol.status = expected
+    in
+    Service.Client.close c2;
+    Service.Server.stop srv2;
+    rm_rf scratch;
+    {
+      rc_events = n;
+      rc_tail = (if snapshot then 0 else applied);
+      rc_recovery_ms = recovery_ms;
+      rc_parity = parity;
+    }
+  in
+  (* Evaluate in this order deliberately: OCaml list literals evaluate
+     right-to-left, so bind each round explicitly. *)
+  let r1 = one ~txns:120 ~seed:31 ~snapshot:true in
+  let r2 = one ~txns:120 ~seed:31 ~snapshot:false in
+  let r3 = one ~txns:480 ~seed:32 ~snapshot:true in
+  let r4 = one ~txns:480 ~seed:32 ~snapshot:false in
+  [ r1; r2; r3; r4 ]
+
+let service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery =
   let events = List.fold_left (fun a w -> a + w.sw_events) 0 workers in
   let replays = List.fold_left (fun a w -> a + w.sw_replays) 0 workers in
   let mismatches =
@@ -748,6 +926,24 @@ let service_json ~endpoint ~wall ~sessions workers stats =
       d.live_sessions d.closed_sessions d.events d.responses d.fastpath_hits
       (domain_hit_rate d) d.searches d.nodes
   in
+  let overload_json o =
+    Fmt.str
+      {|{"events": %d, "duration_s": %.3f, "events_per_s": %.1f,
+   "throttles": %d, "sheds": %d, "verdict_mismatches": %d,
+   "checkpoint_latency_ms": {"p50": %.3f, "p99": %.3f, "samples": %d}}|}
+      o.ov_events o.ov_wall
+      (if o.ov_wall <= 0. then 0.
+       else float_of_int o.ov_events /. o.ov_wall)
+      o.ov_throttles o.ov_sheds o.ov_mismatches
+      (percentile o.ov_latencies 50. *. 1e3)
+      (percentile o.ov_latencies 99. *. 1e3)
+      (Array.length o.ov_latencies)
+  in
+  let recovery_json r =
+    Fmt.str
+      {|   {"events": %d, "journal_replay_events": %d, "recovery_ms": %.3f, "verdict_parity": %b}|}
+      r.rc_events r.rc_tail r.rc_recovery_ms r.rc_parity
+  in
   Fmt.pr
     {|{"benchmark": "service", "unit": "events_per_s",
  "endpoint": %S, "duration_s": %.3f, "sessions": %d, "domains": %d,
@@ -756,6 +952,10 @@ let service_json ~endpoint ~wall ~sessions workers stats =
  "verdict_mismatches": %d,
  "per_domain": [
 %s
+ ],
+ "overload": %s,
+ "recovery": [
+%s
  ]}@.|}
     endpoint wall sessions (List.length stats) events replays
     (if wall <= 0. then 0. else float_of_int events /. wall)
@@ -763,6 +963,8 @@ let service_json ~endpoint ~wall ~sessions workers stats =
     (percentile lat 99. *. 1e3)
     (Array.length lat) mismatches
     (String.concat ",\n" (List.map domain_json stats))
+    (overload_json overload)
+    (String.concat ",\n" (List.map recovery_json recovery))
 
 let bench_service () =
   let external_server = !opt_service_socket <> None in
@@ -806,7 +1008,7 @@ let bench_service () =
     Service.Client.close c;
     s
   in
-  Option.iter Service.Server.stop server;
+  Option.iter (fun s -> Service.Server.stop s) server;
   List.iter
     (fun w ->
       match w.sw_error with
@@ -814,7 +1016,10 @@ let bench_service () =
           Fmt.epr "service worker (%s): %s@." w.sw_stream.ss_name e
       | None -> ())
     workers;
-  if !json_mode then service_json ~endpoint ~wall ~sessions workers stats
+  let overload = bench_service_overload () in
+  let recovery = bench_service_recovery () in
+  if !json_mode then
+    service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery
   else begin
     section_header
       (Fmt.str
@@ -863,7 +1068,22 @@ let bench_service () =
     Fmt.pr "  (%d replays across %d sessions; server verdicts are the \
             online monitor's, so status ok certifies every prefix \
             du-opaque.)@."
-      replays sessions
+      replays sessions;
+    Fmt.pr
+      "  under overload (hwm 2): %d events in %.2fs, %d throttles, %d \
+       sheds, %d mismatches; checkpoint RTT p50 %.3fms p99 %.3fms@."
+      overload.ov_events overload.ov_wall overload.ov_throttles
+      overload.ov_sheds overload.ov_mismatches
+      (percentile overload.ov_latencies 50. *. 1e3)
+      (percentile overload.ov_latencies 99. *. 1e3);
+    Fmt.pr "  crash recovery (restart + resume round-trip):@.";
+    List.iter
+      (fun r ->
+        Fmt.pr
+          "    %6d events (%6d replayed from journal): %7.3fms  %s@."
+          r.rc_events r.rc_tail r.rc_recovery_ms
+          (if r.rc_parity then "verdict parity" else "PARITY LOST"))
+      recovery
   end
 
 (* --- main ---------------------------------------------------------------- *)

@@ -330,7 +330,80 @@ let chaos_cmd =
       value & flag
       & info [ "timelines" ] ~doc:"Print each produced history as a timeline.")
   in
-  let run stm seeds kinds threads txns ops vars check timelines max_nodes =
+  let service_arg =
+    let doc =
+      "Network-layer chaos instead of STM-internal faults: stream \
+       fault-injected histories through a real durable tm serve instance \
+       behind a fault-injecting proxy (torn/dropped/duplicated/delayed/\
+       reordered frames, disconnects, and periodic server kill+restart), \
+       and arbitrate every round: recovery with the offline monitor's \
+       verdict, a documented clean error — never a wrong verdict or a hang."
+    in
+    Arg.(value & flag & info [ "service" ] ~doc)
+  in
+  let net_faults_arg =
+    let kind_conv =
+      Arg.enum
+        (List.map
+           (fun k -> (Service.Proxy.kind_to_string k, k))
+           Service.Proxy.all_kinds)
+    in
+    let doc =
+      "With --service: frame fault kinds the sampled plans may contain \
+       ($(docv) ⊆ torn,drop,dup,delay,reorder,disconnect)."
+    in
+    Arg.(
+      value
+      & opt (list kind_conv) Service.Proxy.all_kinds
+      & info [ "net-faults" ] ~docv:"KINDS" ~doc)
+  in
+  let points_arg =
+    let doc = "With --service: fault points per sampled plan." in
+    Arg.(value & opt int 2 & info [ "points" ] ~docv:"N" ~doc)
+  in
+  let kill_every_arg =
+    let doc =
+      "With --service: crash and restart the server mid-stream every k-th \
+       seed (0 = never)."
+    in
+    Arg.(value & opt int 3 & info [ "kill-every" ] ~docv:"K" ~doc)
+  in
+  let deadline_arg =
+    let doc = "With --service: per-round hang watchdog, seconds." in
+    Arg.(value & opt float 30. & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"With --service: log proxy and server events.")
+  in
+  let run_service stm seeds net_kinds points kill_every deadline verbose
+      max_nodes =
+    let cfg =
+      Service_chaos.config ~source:(`Faults stm)
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~kinds:net_kinds ~points ~kill_every
+        ~max_nodes:(Option.value max_nodes ~default:2_000_000)
+        ~deadline
+        ~log:(if verbose then fun m -> Fmt.epr "# %s@." m else ignore)
+        ()
+    in
+    let report = Service_chaos.run cfg in
+    Fmt.pr "# chaos --service: source=faults:%s, net-faults=%s, %d seeds@."
+      stm
+      (String.concat ","
+         (List.map Service.Proxy.kind_to_string net_kinds))
+      seeds;
+    Fmt.pr "%a@." Service_chaos.pp_report report;
+    if report.Service_chaos.wrong > 0 || report.Service_chaos.hangs > 0 then 1
+    else 0
+  in
+  let run stm seeds kinds threads txns ops vars check timelines max_nodes
+      service net_kinds points kill_every deadline verbose =
+    if service then
+      run_service stm seeds net_kinds points kill_every deadline verbose
+        max_nodes
+    else
     let params =
       {
         Stm.Workload.default with
@@ -410,10 +483,13 @@ let chaos_cmd =
        ~doc:
          "Run an STM under a deterministic fault campaign (crashed threads, \
           stalled commits, spurious aborts, truncated traces) and check the \
-          incomplete histories it produces")
+          incomplete histories it produces.  With --service, run \
+          network-layer chaos against a live durable tm serve instance \
+          instead.")
     Term.(
       const run $ stm $ seeds $ faults_arg $ threads $ txns $ ops $ vars
-      $ check $ timelines $ max_nodes_arg)
+      $ check $ timelines $ max_nodes_arg $ service_arg $ net_faults_arg
+      $ points_arg $ kill_every_arg $ deadline_arg $ verbose_arg)
 
 (* --- tm soak ------------------------------------------------------------- *)
 
@@ -512,7 +588,7 @@ let soak_cmd =
             ~log ()
         in
         let r = Oracle.run cfg in
-        Option.iter Service.Server.stop server;
+        Option.iter (fun s -> Service.Server.stop s) server;
         Fmt.pr
           "# soak: %d iterations, %d events, %.1f s wall, %d unknown, %d \
            closure gap(s), %d job(s), seed %d@."
@@ -650,7 +726,56 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the per-connection event log.")
   in
-  let run unix_path tcp domains queue max_nodes quiet =
+  let journal_arg =
+    let doc =
+      "Make sessions durable: journal every applied event (and checkpoint \
+       monitor snapshots) under $(docv), so sessions survive disconnects \
+       and server restarts and can be resumed."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal"; "journal-dir" ] ~docv:"DIR" ~doc)
+  in
+  let journal_sync_arg =
+    Arg.(
+      value & flag
+      & info [ "journal-sync" ]
+          ~doc:"fsync every journal append (power-cut durability).")
+  in
+  let session_timeout_arg =
+    let doc =
+      "Seconds of complete silence after which a connection is presumed \
+       dead, and how long an orphaned durable session stays resumable."
+    in
+    Arg.(
+      value
+      & opt float Service.Protocol.default_session_timeout
+      & info [ "session-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let heartbeat_arg =
+    let doc = "Advertised heartbeat interval for idle clients." in
+    Arg.(
+      value
+      & opt float Service.Protocol.default_heartbeat
+      & info [ "heartbeat" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Admission control: refuse connections beyond $(docv)." in
+    Arg.(value & opt int 1024 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let max_sessions_arg =
+    let doc = "Admission control: refuse sessions beyond $(docv)." in
+    Arg.(value & opt int 8192 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let hwm_arg =
+    let doc =
+      "Mailbox high-watermark at which v2 sessions are throttled \
+       (degradation ladder); default queue/2."
+    in
+    Arg.(value & opt (some int) None & info [ "hwm" ] ~docv:"N" ~doc)
+  in
+  let run unix_path tcp domains queue max_nodes quiet journal_dir journal_sync
+      session_timeout heartbeat max_conns max_sessions hwm =
     match addr_of ~unix_path ~tcp with
     | Error (`Msg m) ->
         Fmt.epr "tm serve: %s@." m;
@@ -662,17 +787,24 @@ let serve_cmd =
         match
           Service.Server.start
             (Service.Server.config ~domains ?max_nodes ~queue_capacity:queue
-               ~log addr)
+               ?journal_dir ~journal_sync ~session_timeout ~heartbeat
+               ~max_conns ~max_sessions ?hwm ~log addr)
         with
         | exception Unix.Unix_error (e, _, arg) ->
             Fmt.epr "tm serve: cannot listen on %a: %s %s@."
               Service.Wire.pp_addr addr (Unix.error_message e) arg;
             3
+        | exception Invalid_argument m ->
+            Fmt.epr "tm serve: %s@." m;
+            3
         | srv ->
-            Fmt.pr "tm serve: listening on %a (%d domains, queue %d)@."
+            Fmt.pr "tm serve: listening on %a (%d domains, queue %d%s)@."
               Service.Wire.pp_addr
               (Service.Server.bound_addr srv)
-              domains queue;
+              domains queue
+              (match journal_dir with
+              | Some d -> Fmt.str ", durable sessions in %s" d
+              | None -> "");
             let stop _ =
               Service.Server.stop srv;
               exit 0
@@ -691,10 +823,12 @@ let serve_cmd =
        ~doc:
          "Run the streaming du-opacity checking service (binary wire \
           protocol, one online monitor per session, sessions sharded \
-          across a domain pool)")
+          across a domain pool; optionally durable, with crash recovery \
+          and overload shedding)")
     Term.(
       const run $ unix_arg $ tcp_arg $ domains_arg $ queue_arg $ max_nodes_arg
-      $ quiet_arg)
+      $ quiet_arg $ journal_arg $ journal_sync_arg $ session_timeout_arg
+      $ heartbeat_arg $ max_conns_arg $ max_sessions_arg $ hwm_arg)
 
 let submit_cmd =
   let session_arg =
@@ -705,7 +839,44 @@ let submit_cmd =
     let doc = "Events per frame when streaming." in
     Arg.(value & opt int 512 & info [ "chunk" ] ~docv:"N" ~doc)
   in
-  let run input unix_path tcp session chunk =
+  let durable_arg =
+    let doc =
+      "Fault-tolerant submission: open a durable session, resume after \
+       disconnects or server restarts with bounded exponential backoff, \
+       and re-send only unacknowledged events.  Requires the server to run \
+       with --journal-dir."
+    in
+    Arg.(value & flag & info [ "durable" ] ~doc)
+  in
+  let retries_arg =
+    let doc = "Reconnect/retry budget in durable mode." in
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  (* Exit codes mirror tm monitor (0 ok / 1 violation / 2 inconclusive),
+     with 3 for every transport or protocol failure — each as a one-line
+     diagnostic, never a bare exception trace. *)
+  let verdict_exit (v : Service.Protocol.verdict) ~shed =
+    match v.Service.Protocol.status with
+    | Service.Protocol.S_violation why ->
+        Fmt.pr "VIOLATION: %s@." why;
+        1
+    | Service.Protocol.S_budget why ->
+        Fmt.pr "unknown: %s@." why;
+        2
+    | Service.Protocol.S_ok -> (
+        match shed with
+        | Some reason ->
+            Fmt.pr
+              "unknown: session shed under load (%s); verdict covers only \
+               the first %d events@."
+              reason v.Service.Protocol.applied;
+            2
+        | None ->
+            Fmt.pr "ok: every prefix (%d events) is du-opaque@."
+              v.Service.Protocol.events;
+            0)
+  in
+  let run input unix_path tcp session chunk durable retries =
     match addr_of ~unix_path ~tcp with
     | Error (`Msg m) ->
         Fmt.epr "tm submit: %s@." m;
@@ -716,40 +887,73 @@ let submit_cmd =
             Fmt.epr "tm submit: %s@." m;
             3
         | Ok h -> (
-            match Service.Client.connect addr with
-            | exception Unix.Unix_error (e, _, _) ->
-                Fmt.epr "tm submit: cannot connect to %a: %s@."
-                  Service.Wire.pp_addr addr (Unix.error_message e);
-                3
-            | client -> (
-                let finish code =
-                  Service.Client.close client;
-                  code
-                in
-                match Service.Client.submit ~session ~chunk client h with
-                | exception Service.Client.Server_error m ->
-                    Fmt.epr "tm submit: server error: %s@." m;
-                    finish 3
-                | v -> (
-                    match v.Service.Protocol.status with
-                    | Service.Protocol.S_ok ->
-                        Fmt.pr
-                          "ok: every prefix (%d events) is du-opaque@."
-                          v.Service.Protocol.events;
-                        finish 0
-                    | Service.Protocol.S_violation why ->
-                        Fmt.pr "VIOLATION: %s@." why;
-                        finish 1
-                    | Service.Protocol.S_budget why ->
-                        Fmt.pr "unknown: %s@." why;
-                        finish 2))))
+            let fail fmt = Fmt.kstr (fun m -> Fmt.epr "tm submit: %s@." m; 3) fmt in
+            if durable then
+              let backoff =
+                { Service.Client.default_backoff with attempts = retries }
+              in
+              match
+                Service.Client.submit_durable ~session ~chunk ~backoff
+                  ~connect:(fun () ->
+                    Service.Client.connect_retry ~backoff addr)
+                  (History.to_list h)
+              with
+              | exception Service.Client.Server_error m ->
+                  fail "server error: %s" m
+              | exception Unix.Unix_error (e, _, _) ->
+                  fail "cannot reach %a: %s" Service.Wire.pp_addr addr
+                    (Unix.error_message e)
+              | r ->
+                  if r.Service.Client.reconnects > 0 then
+                    Fmt.epr
+                      "tm submit: recovered through %d reconnect(s), %d \
+                       resend round(s)@."
+                      r.Service.Client.reconnects r.Service.Client.retries;
+                  verdict_exit r.Service.Client.verdict
+                    ~shed:r.Service.Client.shed_reason
+            else
+              match Service.Client.connect addr with
+              | exception Unix.Unix_error (e, _, _) ->
+                  fail "cannot connect to %a: %s" Service.Wire.pp_addr addr
+                    (Unix.error_message e)
+              | client -> (
+                  let finish code =
+                    (try Service.Client.close client
+                     with
+                     | Service.Client.Server_error _ | Service.Wire.Closed
+                     | Service.Wire.Desync _
+                     | Unix.Unix_error _ -> ());
+                    code
+                  in
+                  match Service.Client.submit ~session ~chunk client h with
+                  | exception Service.Client.Server_error m ->
+                      finish (fail "server error: %s" m)
+                  | exception Service.Wire.Desync m ->
+                      finish
+                        (fail
+                           "protocol desync (%s); client speaks protocol v%d \
+                            — is the server older or newer?"
+                           m Service.Protocol.version)
+                  | exception Service.Wire.Closed ->
+                      finish
+                        (fail
+                           "connection closed mid-stream; rerun with \
+                            --durable to resume against a --journal-dir \
+                            server")
+                  | exception Unix.Unix_error (e, _, _) ->
+                      finish (fail "i/o error: %s" (Unix.error_message e))
+                  | v -> finish (verdict_exit v ~shed:None))))
   in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
          "Stream a history into a running tm serve instance and print the \
-          final verdict (same judgement and exit codes as tm monitor)")
-    Term.(const run $ input_arg $ unix_arg $ tcp_arg $ session_arg $ chunk_arg)
+          final verdict (same judgement and exit codes as tm monitor).  \
+          With --durable, survives disconnects and server restarts by \
+          resuming the session.")
+    Term.(
+      const run $ input_arg $ unix_arg $ tcp_arg $ session_arg $ chunk_arg
+      $ durable_arg $ retries_arg)
 
 (* --- tm verify ----------------------------------------------------------- *)
 

@@ -335,3 +335,52 @@ let snapshot (m : t) =
   }
 
 let status (m : t) = match m.failed with Some o -> o | None -> `Ok
+
+(* --- serializable checkpoints ------------------------------------------- *)
+
+type persisted = {
+  p_max_nodes : int option;
+  p_events : Event.t list;
+  p_status : outcome;
+  p_violation_index : int option;
+  p_counters : snapshot;
+}
+
+let persist (m : t) =
+  {
+    p_max_nodes = m.max_nodes;
+    p_events = History.to_list m.history;
+    p_status = status m;
+    p_violation_index = m.violation_index;
+    p_counters = snapshot m;
+  }
+
+(* Rebuild by replaying the accepted history through a fresh monitor: the
+   original built its certificate, search context, and sticky state from
+   exactly this push sequence, so the deterministic replay reproduces them
+   bit for bit.  The recorded counters are then adopted wholesale — they can
+   legitimately exceed the replayed ones (events rejected by [History.extend]
+   are counted but never enter [history]) and must survive a round-trip so
+   hit rates are checkpoint-transparent.  A recorded [`Ok] that the replay
+   refutes convicts the blob (or the code) of corruption; a recorded failure
+   is adopted even where the replayed history alone stays clean, because the
+   failing event may have been rejected before reaching the history. *)
+let of_persisted p =
+  let m = create ?max_nodes:p.p_max_nodes () in
+  let replayed = push_all m p.p_events in
+  match p.p_status, replayed with
+  | `Ok, (`Violation why | `Budget why) ->
+      Error
+        (Fmt.str "monitor snapshot is corrupt: replay refutes it (%s)" why)
+  | `Ok, `Ok | (`Violation _ | `Budget _), _ ->
+      (match p.p_status with
+      | `Ok -> ()
+      | (`Violation _ | `Budget _) as o ->
+          m.failed <- Some o;
+          m.violation_index <- p.p_violation_index);
+      m.events_seen <- p.p_counters.events;
+      m.responses_seen <- p.p_counters.responses;
+      m.fastpath_hits <- p.p_counters.fastpath_hits;
+      m.searches_run <- p.p_counters.searches;
+      m.nodes_total <- p.p_counters.nodes;
+      Ok m

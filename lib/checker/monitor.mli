@@ -99,3 +99,34 @@ val status : t -> outcome
 (** The outcome the next {!push} would return before ingesting anything:
     [`Ok] while every accepted prefix is du-opaque, otherwise the sticky
     [`Violation]/[`Budget] already reported. *)
+
+(** {1 Serializable checkpoints}
+
+    A {!persisted} value captures everything needed to rebuild a monitor
+    that is {e behaviourally identical} to the original: the accepted
+    history, the sticky outcome, and the statistics counters.  Restoring
+    replays the history through a fresh monitor — event ingestion is
+    deterministic, so the certificate, the incremental search context, and
+    every future verdict come out exactly as if the stream had never been
+    interrupted — and then adopts the recorded counters, so fast-path hit
+    rates are checkpoint-transparent too.  The streaming service's durable
+    sessions serialize these capsules to disk (see [Tm_service.Journal])
+    and recover crashed sessions by snapshot-load + journal-replay. *)
+
+type persisted = {
+  p_max_nodes : int option;
+  p_events : Event.t list;  (** the accepted history, in stream order *)
+  p_status : outcome;
+  p_violation_index : int option;
+  p_counters : snapshot;
+}
+
+val persist : t -> persisted
+
+val of_persisted : persisted -> (t, string) result
+(** Replays [p_events] through a fresh monitor and adopts the recorded
+    sticky outcome and counters.  [Error _] when the capsule is corrupt:
+    it records [`Ok] but the replay finds a violation.  (The converse — a
+    recorded failure over a clean-replaying history — is legitimate: the
+    event that tripped the monitor may have been rejected as ill-formed
+    before ever entering the history.) *)

@@ -98,6 +98,10 @@ end
 
 module Oracle = Tm_oracle.Oracle
 
+(** {1 Service chaos campaigns ([tm chaos --service])} *)
+
+module Service_chaos = Tm_oracle.Service_chaos
+
 (** {1 The streaming checking service ([tm serve])} *)
 
 module Service = struct
@@ -105,6 +109,8 @@ module Service = struct
   module Protocol = Tm_service.Protocol
   module Wire = Tm_service.Wire
   module Mailbox = Tm_service.Mailbox
+  module Journal = Tm_service.Journal
   module Server = Tm_service.Server
   module Client = Tm_service.Client
+  module Proxy = Tm_service.Proxy
 end

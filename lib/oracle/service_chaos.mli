@@ -1,0 +1,90 @@
+(** Network-layer chaos campaigns against the [tm serve] service
+    ([tm chaos --service]).
+
+    Each round: produce a deterministic history (an {!Oracle.source}, so
+    fault-injected STM streams are first-class inputs), start a durable
+    server and a fault-injecting {!Tm_service.Proxy} between it and the
+    client, then drive the whole stream through
+    {!Tm_service.Client.submit_durable} while the proxy tears, drops,
+    duplicates, delays and reorders frames and cuts connections — and, on
+    kill rounds, while the server itself is crashed mid-stream and
+    restarted on the same journal directory.
+
+    Arbitration (the robustness contract): every round must end in
+
+    - [Recovered] — the final verdict covers the whole stream and equals
+      the offline monitor's verdict;
+    - [Degraded n] — the session was shed under load; the verdict covers
+      exactly the [n]-event prefix it claims, and equals the offline
+      verdict of that prefix;
+    - [Clean_error] — a documented failure (retry budget exhausted,
+      admission refused) surfaced as an error, not a verdict.
+
+    [Wrong] (a verdict that disagrees with the offline monitor) and [Hung]
+    (the round outlived its watchdog) are findings: the service must never
+    produce a wrong verdict and never hang, whatever the network does. *)
+
+type outcome =
+  | Recovered
+  | Degraded of int  (** shed; verdict covers this many events *)
+  | Clean_error of string
+  | Wrong of string  (** finding: verdict disagrees with the offline monitor *)
+  | Hung  (** finding: the round did not finish before the deadline *)
+
+val outcome_to_string : outcome -> string
+
+type round = {
+  c_seed : int;
+  c_source : string;
+  c_plan : string;  (** the sampled fault plan, pretty-printed *)
+  c_events : int;
+  c_applied : int;  (** events the final verdict covers *)
+  c_reconnects : int;
+  c_retries : int;
+  c_killed : bool;  (** the server was crashed and restarted mid-stream *)
+  c_outcome : outcome;
+  c_seconds : float;
+}
+
+type report = {
+  rounds : round list;
+  recovered : int;
+  degraded : int;
+  clean_errors : int;
+  wrong : int;
+  hangs : int;
+}
+
+type config = {
+  source : Oracle.source;
+  seeds : int list;
+  kinds : Tm_service.Proxy.kind list;
+  points : int;  (** fault points per sampled plan *)
+  kill_every : int;  (** crash+restart the server every k-th seed; 0 = never *)
+  max_nodes : int;
+  deadline : float;  (** per-round hang watchdog, seconds *)
+  scratch : string option;  (** scratch dir (sockets, journals); default tmp *)
+  log : string -> unit;
+}
+
+val config :
+  ?source:Oracle.source ->
+  ?seeds:int list ->
+  ?kinds:Tm_service.Proxy.kind list ->
+  ?points:int ->
+  ?kill_every:int ->
+  ?max_nodes:int ->
+  ?deadline:float ->
+  ?scratch:string ->
+  ?log:(string -> unit) ->
+  unit ->
+  config
+(** Defaults: fault-injected tl2 histories, seeds 1..10, all fault kinds,
+    2 points per plan, kill every 3rd seed, 2M-node budget, 30 s
+    watchdog. *)
+
+val run_round : config -> seed:int -> round
+val run : config -> report
+
+val pp_round : Format.formatter -> round -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -25,6 +25,16 @@ let put mb x =
   Condition.signal mb.nonempty;
   Mutex.unlock mb.mutex
 
+let try_put mb x =
+  Mutex.lock mb.mutex;
+  let ok = Queue.length mb.buf < mb.capacity in
+  if ok then begin
+    Queue.push x mb.buf;
+    Condition.signal mb.nonempty
+  end;
+  Mutex.unlock mb.mutex;
+  ok
+
 let take mb =
   Mutex.lock mb.mutex;
   while Queue.is_empty mb.buf do

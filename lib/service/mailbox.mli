@@ -14,6 +14,11 @@ val create : capacity:int -> 'a t
 val put : 'a t -> 'a -> unit
 (** Blocks while the queue holds [capacity] items. *)
 
+val try_put : 'a t -> 'a -> bool
+(** Non-blocking [put]: [false] when the queue is full — the caller's cue
+    to shed or throttle instead of queueing without bound (the server's
+    overload ladder). *)
+
 val take : 'a t -> 'a
 (** Blocks while the queue is empty. *)
 

@@ -1,6 +1,8 @@
-let version = 1
+let version = 2
 let hello_magic = "TMSV"
 let max_frame = 16 * 1024 * 1024
+let default_session_timeout = 30.0
+let default_heartbeat = 5.0
 
 type error_code =
   | Bad_frame
@@ -9,6 +11,7 @@ type error_code =
   | Unknown_session
   | Duplicate_session
   | Server_error
+  | Overloaded
 
 let error_code_to_int = function
   | Bad_frame -> 1
@@ -17,6 +20,7 @@ let error_code_to_int = function
   | Unknown_session -> 4
   | Duplicate_session -> 5
   | Server_error -> 6
+  | Overloaded -> 7
 
 let error_code_of_int = function
   | 1 -> Some Bad_frame
@@ -25,6 +29,7 @@ let error_code_of_int = function
   | 4 -> Some Unknown_session
   | 5 -> Some Duplicate_session
   | 6 -> Some Server_error
+  | 7 -> Some Overloaded
   | _ -> None
 
 let pp_error_code ppf c =
@@ -35,11 +40,36 @@ let pp_error_code ppf c =
     | Unsupported_version -> "unsupported-version"
     | Unknown_session -> "unknown-session"
     | Duplicate_session -> "duplicate-session"
-    | Server_error -> "server-error")
+    | Server_error -> "server-error"
+    | Overloaded -> "overloaded")
 
 type status = S_ok | S_violation of string | S_budget of string
 
-type verdict = { session : int; token : int; events : int; status : status }
+type mode = M_full | M_sampling | M_shed
+
+let mode_to_int = function M_full -> 0 | M_sampling -> 1 | M_shed -> 2
+
+let mode_of_int = function
+  | 0 -> Some M_full
+  | 1 -> Some M_sampling
+  | 2 -> Some M_shed
+  | _ -> None
+
+let pp_mode ppf m =
+  Fmt.string ppf
+    (match m with
+    | M_full -> "full"
+    | M_sampling -> "sampling"
+    | M_shed -> "shed")
+
+type verdict = {
+  session : int;
+  token : int;
+  events : int;
+  status : status;
+  mode : mode;
+  applied : int;
+}
 
 type domain_stats = {
   live_sessions : int;
@@ -62,6 +92,16 @@ type frame =
   | Stats of domain_stats list
   | Err of { code : error_code; message : string }
   | Goodbye
+  | Resume of { session : int; from : int }
+  | Resumed of { session : int; applied : int; mode : mode; status : status }
+  | Throttle of { session : int; retry_after_ms : int }
+  | Heartbeat
+  | Events_at of { session : int; from : int; events : Event.t list }
+  | Shed of { session : int; reason : string }
+
+let verdict ?(mode = M_full) ?applied ~session ~token ~events status =
+  let applied = Option.value applied ~default:events in
+  Verdict { session; token; events; status; mode; applied }
 
 let tag_of_frame = function
   | Hello _ -> 1
@@ -74,6 +114,21 @@ let tag_of_frame = function
   | Stats _ -> 8
   | Err _ -> 9
   | Goodbye -> 10
+  | Resume _ -> 11
+  | Resumed _ -> 12
+  | Throttle _ -> 13
+  | Heartbeat -> 14
+  | Events_at _ -> 15
+  | Shed _ -> 16
+
+let put_status b = function
+  | S_ok -> Codec.put_uvarint b 0
+  | S_violation why ->
+      Codec.put_uvarint b 1;
+      Codec.put_string b why
+  | S_budget why ->
+      Codec.put_uvarint b 2;
+      Codec.put_string b why
 
 let encode b frame =
   Buffer.add_char b (Char.chr (tag_of_frame frame));
@@ -89,18 +144,19 @@ let encode b frame =
       Codec.put_uvarint b session;
       Codec.put_uvarint b token
   | Close_session { session } -> Codec.put_uvarint b session
-  | Verdict { session; token; events; status } ->
+  | Verdict { session; token; events; status; mode; applied } ->
       Codec.put_uvarint b session;
       Codec.put_uvarint b token;
       Codec.put_uvarint b events;
-      (match status with
-      | S_ok -> Codec.put_uvarint b 0
-      | S_violation why ->
-          Codec.put_uvarint b 1;
-          Codec.put_string b why
-      | S_budget why ->
-          Codec.put_uvarint b 2;
-          Codec.put_string b why)
+      put_status b status;
+      (* The degraded tail is only emitted when it says something a v1
+         peer would lose: an absent tail decodes as full checking with
+         [applied = events], so v1 sessions (which are never degraded)
+         still receive byte-identical v1 frames. *)
+      if mode <> M_full || applied <> events then begin
+        Buffer.add_char b (Char.chr (mode_to_int mode));
+        Codec.put_uvarint b applied
+      end
   | Stats_req -> ()
   | Stats domains ->
       Codec.put_uvarint b (List.length domains);
@@ -118,11 +174,43 @@ let encode b frame =
       Codec.put_uvarint b (error_code_to_int code);
       Codec.put_string b message
   | Goodbye -> ()
+  | Resume { session; from } ->
+      Codec.put_uvarint b session;
+      Codec.put_uvarint b from
+  | Resumed { session; applied; mode; status } ->
+      Codec.put_uvarint b session;
+      Codec.put_uvarint b applied;
+      Buffer.add_char b (Char.chr (mode_to_int mode));
+      put_status b status
+  | Throttle { session; retry_after_ms } ->
+      Codec.put_uvarint b session;
+      Codec.put_uvarint b retry_after_ms
+  | Heartbeat -> ()
+  | Events_at { session; from; events } ->
+      Codec.put_uvarint b session;
+      Codec.put_uvarint b from;
+      Codec.put_events b events
+  | Shed { session; reason } ->
+      Codec.put_uvarint b session;
+      Codec.put_string b reason
 
 let to_string frame =
   let b = Buffer.create 64 in
   encode b frame;
   Buffer.contents b
+
+let get_status r =
+  match Codec.get_uvarint r with
+  | 0 -> S_ok
+  | 1 -> S_violation (Codec.get_string r)
+  | 2 -> S_budget (Codec.get_string r)
+  | n -> Codec.fail "unknown verdict status %d" n
+
+let get_mode r =
+  let m = Codec.get_byte r in
+  match mode_of_int m with
+  | Some m -> m
+  | None -> Codec.fail "unknown degradation mode %d" m
 
 let decode_reader r =
   let tag = Codec.get_byte r in
@@ -143,14 +231,14 @@ let decode_reader r =
       let session = Codec.get_uvarint r in
       let token = Codec.get_uvarint r in
       let events = Codec.get_uvarint r in
-      let status =
-        match Codec.get_uvarint r with
-        | 0 -> S_ok
-        | 1 -> S_violation (Codec.get_string r)
-        | 2 -> S_budget (Codec.get_string r)
-        | n -> Codec.fail "unknown verdict status %d" n
+      let status = get_status r in
+      let mode, applied =
+        if Codec.at_end r then (M_full, events)
+        else
+          let mode = get_mode r in
+          (mode, Codec.get_uvarint r)
       in
-      Verdict { session; token; events; status }
+      Verdict { session; token; events; status; mode; applied }
   | 7 -> Stats_req
   | 8 ->
       let n = Codec.get_uvarint r in
@@ -184,6 +272,26 @@ let decode_reader r =
       in
       Err { code; message }
   | 10 -> Goodbye
+  | 11 ->
+      let session = Codec.get_uvarint r in
+      Resume { session; from = Codec.get_uvarint r }
+  | 12 ->
+      let session = Codec.get_uvarint r in
+      let applied = Codec.get_uvarint r in
+      let mode = get_mode r in
+      let status = get_status r in
+      Resumed { session; applied; mode; status }
+  | 13 ->
+      let session = Codec.get_uvarint r in
+      Throttle { session; retry_after_ms = Codec.get_uvarint r }
+  | 14 -> Heartbeat
+  | 15 ->
+      let session = Codec.get_uvarint r in
+      let from = Codec.get_uvarint r in
+      Events_at { session; from; events = Codec.get_events r }
+  | 16 ->
+      let session = Codec.get_uvarint r in
+      Shed { session; reason = Codec.get_string r }
   | t -> Codec.fail "unknown frame tag %d" t
 
 let decode body =
@@ -211,11 +319,24 @@ let pp_frame ppf = function
   | Checkpoint { session; token } ->
       Fmt.pf ppf "Checkpoint %d token %d" session token
   | Close_session { session } -> Fmt.pf ppf "Close_session %d" session
-  | Verdict { session; token; events; status } ->
+  | Verdict { session; token; events; status; mode; applied } ->
       Fmt.pf ppf "Verdict %d token %d events %d: %a" session token events
-        pp_status status
+        pp_status status;
+      if mode <> M_full || applied <> events then
+        Fmt.pf ppf " [%a, applied %d]" pp_mode mode applied
   | Stats_req -> Fmt.string ppf "Stats_req"
   | Stats ds -> Fmt.pf ppf "Stats (%d domains)" (List.length ds)
   | Err { code; message } ->
       Fmt.pf ppf "Error %a: %s" pp_error_code code message
   | Goodbye -> Fmt.string ppf "Goodbye"
+  | Resume { session; from } -> Fmt.pf ppf "Resume %d from %d" session from
+  | Resumed { session; applied; mode; status } ->
+      Fmt.pf ppf "Resumed %d applied %d [%a]: %a" session applied pp_mode
+        mode pp_status status
+  | Throttle { session; retry_after_ms } ->
+      Fmt.pf ppf "Throttle %d retry-after %dms" session retry_after_ms
+  | Heartbeat -> Fmt.string ppf "Heartbeat"
+  | Events_at { session; from; events } ->
+      Fmt.pf ppf "Events_at %d from %d (%d events)" session from
+        (List.length events)
+  | Shed { session; reason } -> Fmt.pf ppf "Shed %d: %s" session reason

@@ -1,0 +1,327 @@
+type kind = K_torn | K_drop | K_dup | K_delay | K_reorder | K_disconnect
+
+let all_kinds = [ K_torn; K_drop; K_dup; K_delay; K_reorder; K_disconnect ]
+
+let kind_to_string = function
+  | K_torn -> "torn"
+  | K_drop -> "drop"
+  | K_dup -> "dup"
+  | K_delay -> "delay"
+  | K_reorder -> "reorder"
+  | K_disconnect -> "disconnect"
+
+type fault =
+  | Torn of int  (* forward only the first N wire bytes, then cut the link *)
+  | Drop  (* swallow the frame *)
+  | Dup  (* forward the frame twice *)
+  | Delay of float  (* hold the frame for this many seconds *)
+  | Reorder  (* swap the frame with the next one in the same direction *)
+  | Disconnect  (* cut the link instead of forwarding *)
+
+type dir = [ `C2s | `S2c ]
+
+type point = { at : int; dir : dir; fault : fault }
+type plan = point list
+
+let pp_dir ppf = function
+  | `C2s -> Fmt.string ppf ">"
+  | `S2c -> Fmt.string ppf "<"
+
+let pp_fault ppf = function
+  | Torn n -> Fmt.pf ppf "torn(%dB)" n
+  | Drop -> Fmt.string ppf "drop"
+  | Dup -> Fmt.string ppf "dup"
+  | Delay s -> Fmt.pf ppf "delay(%.0fms)" (s *. 1000.)
+  | Reorder -> Fmt.string ppf "reorder"
+  | Disconnect -> Fmt.string ppf "disconnect"
+
+let pp_point ppf p = Fmt.pf ppf "%a%d:%a" pp_dir p.dir p.at pp_fault p.fault
+
+let pp_plan ppf = function
+  | [] -> Fmt.string ppf "none"
+  | plan -> Fmt.(list ~sep:comma pp_point) ppf plan
+
+(* --- deterministic plan sampling ------------------------------------------ *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let sample ?(kinds = all_kinds) ?(points = 2) ?(horizon = 48) ~seed () =
+  if kinds = [] then []
+  else begin
+    let ctr = ref 0 in
+    let draw bound =
+      incr ctr;
+      let h =
+        Int64.to_int (mix64 (Int64.of_int ((seed * 2_654_435) + !ctr)))
+        land max_int
+      in
+      h mod bound
+    in
+    let karr = Array.of_list kinds in
+    let taken = Hashtbl.create 8 in
+    let rec fresh_at dir tries =
+      let at = draw horizon in
+      if Hashtbl.mem taken (dir, at) && tries < 16 then fresh_at dir (tries - 1)
+      else begin
+        Hashtbl.replace taken (dir, at) ();
+        at
+      end
+    in
+    List.init points (fun _ ->
+        let dir = if draw 10 < 7 then `C2s else `S2c in
+        let at = fresh_at dir 16 in
+        let fault =
+          match karr.(draw (Array.length karr)) with
+          | K_torn -> Torn (1 + draw 10)
+          | K_drop -> Drop
+          | K_dup -> Dup
+          | K_delay -> Delay (0.005 +. (float_of_int (draw 50) /. 1000.))
+          | K_reorder -> Reorder
+          | K_disconnect -> Disconnect
+        in
+        { at; dir; fault })
+  end
+
+(* --- the proxy ------------------------------------------------------------- *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound : Wire.addr;
+  upstream : Wire.addr;
+  plan : plan ref;  (* points still waiting to fire; guarded by plan_mutex *)
+  fired : point list ref;
+  plan_mutex : Mutex.t;
+  c2s_seen : int Atomic.t;  (* frames, cumulative across all connections *)
+  s2c_seen : int Atomic.t;
+  mutable stopping : bool;
+  conns : (int, Unix.file_descr * Unix.file_descr) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable pumps : Thread.t list;  (* guarded by conns_mutex *)
+  mutable accept_thread : Thread.t option;
+  next_id : int Atomic.t;
+  log : string -> unit;
+}
+
+let bound_addr px = px.bound
+let fired px =
+  Mutex.lock px.plan_mutex;
+  let l = List.rev !(px.fired) in
+  Mutex.unlock px.plan_mutex;
+  l
+
+exception Cut  (* this proxied connection is over *)
+
+let shutdown_quiet fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Read up to [len] bytes; returns how many arrived before EOF. *)
+let read_upto fd b pos len =
+  let rec go pos len got =
+    if len = 0 then got
+    else
+      match Unix.read fd b pos len with
+      | 0 -> got
+      | n -> go (pos + n) (len - n) (got + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len got
+  in
+  go pos len 0
+
+type rf = Eof | Tail of bytes  (** stream died mid-frame; forward and cut *)
+        | Whole of bytes  (** one whole wire frame: header + body *)
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_upto fd hdr 0 4 with
+  | 0 -> Eof
+  | n when n < 4 -> Tail (Bytes.sub hdr 0 n)
+  | _ ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len <= 0 || len > Protocol.max_frame then
+        (* Not a boundary we understand (the peers will treat it as a
+           desync); forward verbatim and stop pretending to be frame-aware. *)
+        Tail hdr
+      else begin
+        let b = Bytes.create (4 + len) in
+        Bytes.blit hdr 0 b 0 4;
+        let got = read_upto fd b 4 len in
+        if got = len then Whole b else Tail (Bytes.sub b 0 (4 + got))
+      end
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+  end
+
+let take_fault px dir idx =
+  Mutex.lock px.plan_mutex;
+  let rec pick acc = function
+    | [] -> (None, List.rev acc)
+    | p :: rest when p.dir = dir && p.at = idx ->
+        (Some p, List.rev_append acc rest)
+    | p :: rest -> pick (p :: acc) rest
+  in
+  let hit, rest = pick [] !(px.plan) in
+  px.plan := rest;
+  (match hit with Some p -> px.fired := p :: !(px.fired) | None -> ());
+  Mutex.unlock px.plan_mutex;
+  Option.map (fun p -> p.fault) hit
+
+(* One direction of one proxied connection.  Frame-aware: faults land on
+   frame boundaries (except [Torn], whose whole point is that they don't). *)
+let pump px dir src dst () =
+  let counter = match dir with `C2s -> px.c2s_seen | `S2c -> px.s2c_seen in
+  let held = ref None in
+  let write b = try write_all dst b 0 (Bytes.length b) with
+    | Unix.Unix_error _ | Sys_error _ -> raise Cut
+  in
+  let flush_held () =
+    match !held with
+    | Some b ->
+        held := None;
+        write b
+    | None -> ()
+  in
+  (try
+     let continue = ref true in
+     while !continue do
+       match read_frame src with
+       | Eof ->
+           flush_held ();
+           continue := false
+       | Tail b ->
+           if Bytes.length b > 0 then write b;
+           continue := false
+       | Whole b -> (
+           let idx = Atomic.fetch_and_add counter 1 in
+           match take_fault px dir idx with
+           | None ->
+               write b;
+               flush_held ()
+           | Some Drop -> ()
+           | Some Dup ->
+               write b;
+               write b;
+               flush_held ()
+           | Some (Delay s) ->
+               Thread.delay s;
+               write b;
+               flush_held ()
+           | Some Reorder ->
+               (* hold it; the next frame overtakes it *)
+               flush_held ();
+               held := Some b
+           | Some (Torn n) ->
+               px.log
+                 (Fmt.str "proxy: tearing frame %a%d after %d bytes" pp_dir
+                    dir idx n);
+               write (Bytes.sub b 0 (min n (Bytes.length b)));
+               raise Cut
+           | Some Disconnect ->
+               px.log (Fmt.str "proxy: disconnect at frame %a%d" pp_dir dir idx);
+               raise Cut)
+     done
+   with
+  | Cut | Unix.Unix_error _ | Sys_error _ -> ());
+  (* Either side ending ends both: half-open proxied links help nobody. *)
+  shutdown_quiet src;
+  shutdown_quiet dst
+
+let accept_loop px () =
+  while not px.stopping do
+    match Unix.accept px.listen_fd with
+    | cfd, _ -> (
+        match Wire.connect px.upstream with
+        | ufd ->
+            let id = Atomic.fetch_and_add px.next_id 1 in
+            Mutex.lock px.conns_mutex;
+            Hashtbl.replace px.conns id (cfd, ufd);
+            px.pumps <-
+              Thread.create (pump px `C2s cfd ufd) ()
+              :: Thread.create (pump px `S2c ufd cfd) ()
+              :: px.pumps;
+            Mutex.unlock px.conns_mutex
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+            (* Upstream refused (server down, restarting): the client sees
+               an immediate EOF and retries with backoff. *)
+            close_quiet cfd)
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(plan = []) ?(log = ignore) ~listen ~upstream () =
+  let listen_fd = Wire.listen listen in
+  let bound =
+    match listen with
+    | `Tcp (host, 0) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> `Tcp (host, port)
+        | _ -> listen)
+    | a -> a
+  in
+  let px =
+    {
+      listen_fd;
+      bound;
+      upstream;
+      plan = ref plan;
+      fired = ref [];
+      plan_mutex = Mutex.create ();
+      c2s_seen = Atomic.make 0;
+      s2c_seen = Atomic.make 0;
+      stopping = false;
+      conns = Hashtbl.create 8;
+      conns_mutex = Mutex.create ();
+      pumps = [];
+      accept_thread = None;
+      next_id = Atomic.make 1;
+      log;
+    }
+  in
+  px.accept_thread <- Some (Thread.create (accept_loop px) ());
+  px
+
+let sever px =
+  Mutex.lock px.conns_mutex;
+  Hashtbl.iter
+    (fun _ (cfd, ufd) ->
+      shutdown_quiet cfd;
+      shutdown_quiet ufd)
+    px.conns;
+  Mutex.unlock px.conns_mutex
+
+let stop px =
+  if not px.stopping then begin
+    px.stopping <- true;
+    (try Unix.shutdown px.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close (Wire.connect px.bound) with
+    | Unix.Unix_error _ | Sys_error _ | Wire.Closed -> ());
+    (match px.accept_thread with Some t -> Thread.join t | None -> ());
+    close_quiet px.listen_fd;
+    sever px;
+    Mutex.lock px.conns_mutex;
+    let pumps = px.pumps in
+    px.pumps <- [];
+    Mutex.unlock px.conns_mutex;
+    List.iter Thread.join pumps;
+    Mutex.lock px.conns_mutex;
+    Hashtbl.iter
+      (fun _ (cfd, ufd) ->
+        close_quiet cfd;
+        close_quiet ufd)
+      px.conns;
+    Hashtbl.reset px.conns;
+    Mutex.unlock px.conns_mutex;
+    match px.bound with
+    | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | `Tcp _ -> ()
+  end

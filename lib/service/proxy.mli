@@ -1,0 +1,69 @@
+(** A fault-injecting, frame-aware proxy for network-layer chaos testing
+    of the [tm serve] protocol ([tm chaos --service]).
+
+    The proxy sits between a client and a server, forwards whole wire
+    frames (4-byte length prefix + body), and injects faults from a
+    {e plan}: a set of once-firing points, each naming a direction, a
+    cumulative frame index in that direction, and a fault — a frame torn
+    mid-byte (then the link is cut, as a real peer reset would), dropped,
+    duplicated, delayed, reordered with its successor, or a hard
+    disconnect.  Frame indices count across all proxied connections, so a
+    plan keeps firing into the connections a recovering client opens.
+
+    Plans are sampled deterministically from a seed ({!sample}), so every
+    chaos run is replayable.  The arbitration the campaign applies on top
+    (see [Tm_oracle.Service_chaos]): every fault must end in
+    recovery-with-correct-verdict or a clean documented error — never a
+    wrong verdict and never a hang. *)
+
+type kind = K_torn | K_drop | K_dup | K_delay | K_reorder | K_disconnect
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+type fault =
+  | Torn of int
+      (** forward only the first N wire bytes of the frame, then cut *)
+  | Drop  (** swallow the frame *)
+  | Dup  (** forward the frame twice (the idempotence test) *)
+  | Delay of float  (** hold the frame for this many seconds *)
+  | Reorder  (** swap the frame with its successor in the same direction *)
+  | Disconnect  (** cut the link instead of forwarding *)
+
+type dir = [ `C2s  (** client-to-server *) | `S2c  (** server-to-client *) ]
+
+type point = { at : int; dir : dir; fault : fault }
+type plan = point list
+
+val pp_point : Format.formatter -> point -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+val sample : ?kinds:kind list -> ?points:int -> ?horizon:int -> seed:int ->
+  unit -> plan
+(** A deterministic plan: [points] (default 2) fault points over the first
+    [horizon] (default 48) frames per direction, kinds drawn from [kinds]
+    (default all).  Same seed, same plan. *)
+
+type t
+
+val start :
+  ?plan:plan -> ?log:(string -> unit) -> listen:Wire.addr ->
+  upstream:Wire.addr -> unit -> t
+(** Listen on [listen] and forward every accepted connection to a fresh
+    connection to [upstream].  When the upstream refuses (server down or
+    restarting), the client connection is closed immediately — the client
+    sees a clean EOF and retries with backoff. *)
+
+val bound_addr : t -> Wire.addr
+(** With the actual port when [`Tcp (_, 0)] asked the kernel to pick. *)
+
+val fired : t -> point list
+(** Fault points that have fired so far, in firing order. *)
+
+val sever : t -> unit
+(** Cut every currently-proxied connection (a network blip); the listener
+    keeps accepting, so clients can reconnect through. *)
+
+val stop : t -> unit
+(** Stop accepting, cut and join everything, unlink a Unix path.
+    Idempotent. *)

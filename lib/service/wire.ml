@@ -24,6 +24,10 @@ let socket_of = function
   | `Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
 
 let connect addr =
+  (* A server dying mid-write must surface as EPIPE (a retryable
+     transport error), not kill the client process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let fd = socket_of addr in
   (try Unix.connect fd (sockaddr_of addr)
    with e ->

@@ -20,7 +20,9 @@ exception Desync of string
     body was consumed, which must not be mistaken for a clean close. *)
 
 val connect : addr -> Unix.file_descr
-(** Client side: connect (with [TCP_NODELAY] for TCP). *)
+(** Client side: connect (with [TCP_NODELAY] for TCP).  Ignores
+    [SIGPIPE] process-wide, so a peer dying mid-write surfaces as
+    [EPIPE] rather than killing the process. *)
 
 val listen : ?backlog:int -> addr -> Unix.file_descr
 (** Server side: bind + listen; an existing Unix-socket path is unlinked

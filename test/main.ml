@@ -21,4 +21,5 @@ let () =
     @ Test_tools.suite
     @ Test_si.suite
     @ Test_codec.suite
-    @ Test_service.suite)
+    @ Test_service.suite
+    @ Test_recovery.suite)

@@ -143,6 +143,9 @@ let gen_domain_stats =
     (pair n n) (pair n n)
     (pair n (pair n n))
 
+let gen_mode =
+  QCheck2.Gen.oneofl [ Protocol.M_full; Protocol.M_sampling; Protocol.M_shed ]
+
 let gen_frame =
   let open QCheck2.Gen in
   let session = 1 -- 1_000 in
@@ -159,11 +162,27 @@ let gen_frame =
         (fun s token -> Protocol.Checkpoint { session = s; token })
         session (0 -- 1_000);
       map (fun s -> Protocol.Close_session { session = s }) session;
+      (* Both tail-free verdicts (applied = events, full mode — the v1
+         encoding) and v2 verdicts carrying a degradation tail. *)
       map3
         (fun s token (events, status) ->
-          Protocol.Verdict { session = s; token; events; status })
+          Protocol.Verdict
+            {
+              session = s;
+              token;
+              events;
+              status;
+              mode = Protocol.M_full;
+              applied = events;
+            })
         session (0 -- 1_000)
         (pair (0 -- 100_000) gen_status);
+      map3
+        (fun s ((token, events), (mode, applied)) status ->
+          Protocol.Verdict { session = s; token; events; status; mode; applied })
+        session
+        (pair (pair (0 -- 1_000) (0 -- 100_000)) (pair gen_mode (0 -- 200_000)))
+        gen_status;
       pure Protocol.Stats_req;
       map (fun ds -> Protocol.Stats ds) (list_size (0 -- 5) gen_domain_stats);
       map2
@@ -173,9 +192,27 @@ let gen_frame =
              Protocol.Bad_frame; Protocol.Bad_magic;
              Protocol.Unsupported_version; Protocol.Unknown_session;
              Protocol.Duplicate_session; Protocol.Server_error;
+             Protocol.Overloaded;
            ])
         str;
       pure Protocol.Goodbye;
+      map2
+        (fun s from -> Protocol.Resume { session = s; from })
+        session (0 -- 100_000);
+      map3
+        (fun s (applied, mode) status ->
+          Protocol.Resumed { session = s; applied; mode; status })
+        session
+        (pair (0 -- 100_000) gen_mode)
+        gen_status;
+      map2
+        (fun s retry_after_ms -> Protocol.Throttle { session = s; retry_after_ms })
+        session (0 -- 10_000);
+      pure Protocol.Heartbeat;
+      map3
+        (fun s from events -> Protocol.Events_at { session = s; from; events })
+        session (0 -- 100_000) events;
+      map2 (fun s reason -> Protocol.Shed { session = s; reason }) session str;
     ]
 
 let prop_frame_roundtrip =

@@ -165,6 +165,77 @@ let test_long_stream_fastpath () =
     (Fmt.str "wall time bounded (%.3fs)" elapsed)
     true (elapsed < 10.)
 
+(* --- serializable checkpoints (persist / of_persisted) ------------------- *)
+
+(* The durable-session contract: persisting a monitor mid-stream and
+   resuming from the capsule is invisible — the resumed monitor reaches
+   the same verdict, at the same index, with the same counters (so even
+   fast-path hit rates are checkpoint-transparent), on every stream
+   source we have, fault-injected STM recordings included. *)
+let test_persist_roundtrip () =
+  let sources =
+    [ `Gen; `Stm "tl2"; `Stm "norec"; `Faults "tl2"; `Faults "mvcc" ]
+  in
+  List.iter
+    (fun source ->
+      List.iter
+        (fun seed ->
+          let name =
+            Fmt.str "%s seed %d" (Oracle.source_tag source) seed
+          in
+          let events = History.to_list (Oracle.produce source ~seed) in
+          let n = List.length events in
+          let cut = n / 2 in
+          let prefix = List.filteri (fun i _ -> i < cut) events in
+          let rest = List.filteri (fun i _ -> i >= cut) events in
+          let straight = Monitor.create () in
+          let resumed =
+            let m = Monitor.create () in
+            ignore (Monitor.push_all m prefix);
+            match Monitor.of_persisted (Monitor.persist m) with
+            | Ok m' -> m'
+            | Error why -> Alcotest.failf "%s: of_persisted: %s" name why
+          in
+          ignore (Monitor.push_all straight events);
+          ignore (Monitor.push_all resumed rest);
+          let o = Alcotest.of_pp (fun ppf (o : Monitor.outcome) ->
+              match o with
+              | `Ok -> Fmt.string ppf "ok"
+              | `Violation w -> Fmt.pf ppf "violation(%s)" w
+              | `Budget w -> Fmt.pf ppf "budget(%s)" w)
+          in
+          Alcotest.check o (name ^ ": verdict") (Monitor.status straight)
+            (Monitor.status resumed);
+          Alcotest.(check (option int))
+            (name ^ ": violation index")
+            (Monitor.violation_index straight)
+            (Monitor.violation_index resumed);
+          let s1 = Monitor.snapshot straight
+          and s2 = Monitor.snapshot resumed in
+          Alcotest.(check int) (name ^ ": events") s1.Monitor.events
+            s2.Monitor.events;
+          Alcotest.(check int) (name ^ ": responses") s1.Monitor.responses
+            s2.Monitor.responses;
+          Alcotest.(check int)
+            (name ^ ": fast-path hits (hit rate identical)")
+            s1.Monitor.fastpath_hits s2.Monitor.fastpath_hits;
+          Alcotest.(check int) (name ^ ": searches") s1.Monitor.searches
+            s2.Monitor.searches)
+        [ 1; 2; 3 ])
+    sources
+
+let test_persist_rejects_corrupt () =
+  (* A capsule claiming `Ok over a violating history must be refused. *)
+  let m = Monitor.create () in
+  ignore (Monitor.push_all m (History.to_list Figures.fig1));
+  let p = Monitor.persist m in
+  let bad =
+    { p with Monitor.p_events = History.to_list Figures.fig3 }
+  in
+  match Monitor.of_persisted bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt capsule (ok-over-violation) accepted"
+
 let suite =
   [
     ( "monitor",
@@ -179,5 +250,8 @@ let suite =
           test_commit_pending_stream;
         test "incremental efficiency" test_incremental_efficiency;
         test "long TL2 stream rides the fast path" test_long_stream_fastpath;
+        slow "persist/resume is verdict- and hit-rate-transparent"
+          test_persist_roundtrip;
+        test "corrupt capsules rejected" test_persist_rejects_corrupt;
       ] );
   ]
