@@ -86,8 +86,28 @@ let property_conv =
       ("all", P_all);
     ]
 
-let rec checks_of_property = function
-  | P_du -> [ ("du-opacity", fun ?max_nodes h -> Du_opacity.check ?max_nodes h) ]
+type backend = B_search | B_graph | B_both
+
+let backend_conv =
+  Arg.enum [ ("search", B_search); ("graph", B_graph); ("both", B_both) ]
+
+(* The conflict-graph backend decides du-opacity; other properties keep
+   their single checker regardless of [--backend]. *)
+let du_checks backend =
+  let search =
+    ("du-opacity", fun ?max_nodes h -> Du_opacity.check ?max_nodes h)
+  in
+  let graph =
+    ( "du-opacity (graph)",
+      fun ?max_nodes h -> Conflict_graph.check_or_fallback ?max_nodes h )
+  in
+  match backend with
+  | B_search -> [ search ]
+  | B_graph -> [ graph ]
+  | B_both -> [ ("du-opacity (search)", snd search); graph ]
+
+let rec checks_of_property backend = function
+  | P_du -> du_checks backend
   | P_opacity -> [ ("opacity", fun ?max_nodes h -> Opacity.check ?max_nodes h) ]
   | P_final_state ->
       [ ("final-state opacity", fun ?max_nodes h -> Final_state.check ?max_nodes h) ]
@@ -107,7 +127,7 @@ let rec checks_of_property = function
           fun ?max_nodes h -> Snapshot_isolation.check ?max_nodes h );
       ]
   | P_all ->
-      List.concat_map checks_of_property
+      List.concat_map (checks_of_property backend)
         [
           P_du; P_opacity; P_final_state; P_tms2; P_rco; P_ser; P_strict_ser;
           P_si;
@@ -129,7 +149,18 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "shrink"; "s" ] ~doc)
   in
-  let run input property max_nodes timeline certificate shrink =
+  let backend_arg =
+    let doc =
+      "du-opacity checker backend: $(docv) ∈ search|graph|both.  [graph] \
+       uses the incremental conflict-graph core (falling back to the \
+       search only on genuinely ambiguous histories); [both] runs the two \
+       and prints a verdict line each."
+    in
+    Arg.(
+      value & opt backend_conv B_search
+      & info [ "backend"; "b" ] ~docv:"BACKEND" ~doc)
+  in
+  let run input property backend max_nodes timeline certificate shrink =
     match history_of_input input with
     | Error e -> e
     | Ok h ->
@@ -159,13 +190,13 @@ let check_cmd =
             | Verdict.Unknown why ->
                 worst := max !worst 2;
                 Fmt.pr "%-28s ???  (%s)@." name why)
-          (checks_of_property property);
+          (checks_of_property backend property);
         if !worst = 0 then `Ok () else `Error_code !worst
   in
   let term =
     Term.(
-      const run $ input_arg $ property_arg $ max_nodes_arg $ timeline_arg
-      $ certificate_arg $ shrink_arg)
+      const run $ input_arg $ property_arg $ backend_arg $ max_nodes_arg
+      $ timeline_arg $ certificate_arg $ shrink_arg)
   in
   let handle = function
     | `Ok () -> 0

@@ -47,27 +47,53 @@ type stm_result = {
   r_naive_histories : int;
   r_naive_verdicts : verdicts option;
   r_match : bool option;
+  r_graph_checked : int;
+  r_graph_mismatch : int;
   r_seconds : float;
 }
 
 let empty_report =
   { Race.accesses = 0; locations = 0; sync_locations = 0; races = [] }
 
-(* Judge a deduplicated history set. *)
-let verdicts_of cfg (histories : (string, History.t) Hashtbl.t) =
+(* Judge a deduplicated history set.  With [graph], every history is also
+   judged by the conflict-graph backend (falling back to the search on
+   [Ambiguous]) and decided disagreements are counted — the exhaustive
+   small-scope cross-check of the two checker cores. *)
+let verdicts_of ?(graph = false) cfg (histories : (string, History.t) Hashtbl.t)
+    =
   let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
   let first_unsat = ref None in
+  let graph_checked = ref 0 and graph_mismatch = ref 0 in
   Hashtbl.iter
     (fun key h ->
-      match Du.check_fast ~max_nodes:cfg.max_nodes h with
+      let v = Du.check_fast ~max_nodes:cfg.max_nodes h in
+      (match v with
       | Verdict.Sat _ -> incr sat
       | Verdict.Unsat why ->
           incr unsat;
           if !first_unsat = None then
             first_unsat := Some (Fmt.str "%s@.%s" why (String.trim key))
-      | Verdict.Unknown _ -> incr unknown)
+      | Verdict.Unknown _ -> incr unknown);
+      if graph then begin
+        incr graph_checked;
+        let g = Tm_checker.Conflict_graph.check_or_fallback ~max_nodes:cfg.max_nodes h in
+        match g, v with
+        | Verdict.Sat _, Verdict.Sat _
+        | Verdict.Unsat _, Verdict.Unsat _
+        | Verdict.Unknown _, _
+        | _, Verdict.Unknown _ ->
+            ()
+        | _ -> incr graph_mismatch
+      end)
     histories;
-  { sat = !sat; unsat = !unsat; unknown = !unknown; first_unsat = !first_unsat }
+  ( {
+      sat = !sat;
+      unsat = !unsat;
+      unknown = !unknown;
+      first_unsat = !first_unsat;
+    },
+    !graph_checked,
+    !graph_mismatch )
 
 let run_stm cfg stm =
   (match Tm_stm.Registry.find stm with
@@ -94,8 +120,11 @@ let run_stm cfg stm =
     Explore.explore_stm_results ~algo:`Dpor ~max_runs:cfg.max_runs
       ~trace:true ~stm ~params:cfg.params ~seed:cfg.seed ~on_result ()
   in
-  (* Verdicts over the distinct histories. *)
-  let dv = verdicts_of cfg histories in
+  (* Verdicts over the distinct histories, each cross-checked against the
+     conflict-graph backend. *)
+  let dv, graph_checked, graph_mismatch =
+    verdicts_of ~graph:true cfg histories
+  in
   (* Naive baseline: same transition system, branch-everywhere DFS.  The
      naive enumeration sees every interleaving, DPOR one representative per
      Mazurkiewicz trace; interleavings of the same trace can serialize the
@@ -113,7 +142,7 @@ let run_stm cfg stm =
         Explore.explore_stm ~algo:`Naive ~max_runs:cfg.naive_max_runs ~stm
           ~params:cfg.params ~seed:cfg.seed ~on_history ()
       in
-      let nv = verdicts_of cfg nh in
+      let nv, _, _ = verdicts_of cfg nh in
       let flags (v : verdicts) = (v.sat > 0, v.unsat > 0, v.unknown > 0) in
       (* A truncated enumeration can only under-approximate. *)
       let sub (a, b, c) (a', b', c') =
@@ -140,6 +169,8 @@ let run_stm cfg stm =
     r_naive_histories = naive_histories;
     r_naive_verdicts = naive_verdicts;
     r_match = matches;
+    r_graph_checked = graph_checked;
+    r_graph_mismatch = graph_mismatch;
     r_seconds = Tm_stm.Clock.now () -. t0;
   }
 
@@ -154,6 +185,7 @@ let run cfg =
 let ok r =
   r.r_verdicts.unknown = 0
   && r.r_match <> Some false
+  && r.r_graph_mismatch = 0
   &&
   if List.mem r.r_stm Tm_stm.Registry.safe then
     r.r_verdicts.unsat = 0 && not (Race.racy r.r_races)
@@ -175,6 +207,9 @@ let pp_result ppf r =
     r.r_verdicts.unsat r.r_verdicts.unknown Race.pp_report r.r_races
     r.r_racy_schedules
     (if r.r_racy_schedules = 1 then "" else "s");
+  Fmt.pf ppf "@,graph backend: %d cross-checked, %d mismatch%s"
+    r.r_graph_checked r.r_graph_mismatch
+    (if r.r_graph_mismatch = 1 then "" else "es");
   (match r.r_naive with
   | Some n ->
       Fmt.pf ppf "@,naive: %a, %d distinct histories, %s" pp_outcome n
@@ -191,11 +226,12 @@ let pp_result ppf r =
   Fmt.pf ppf "@]"
 
 let pp_table ppf results =
-  Fmt.pf ppf "%-12s %9s %4s %7s %7s %9s %6s %5s/%5s %5s %5s@." "stm" "dpor"
-    "exh" "pruned" "factor" "naive" "match" "sat" "unsat" "races" "sec";
+  Fmt.pf ppf "%-12s %9s %4s %7s %7s %9s %6s %5s/%5s %5s %5s %5s@." "stm"
+    "dpor" "exh" "pruned" "factor" "naive" "match" "sat" "unsat" "graph"
+    "races" "sec";
   List.iter
     (fun r ->
-      Fmt.pf ppf "%-12s %9d %4s %7d %7.1f %9s %6s %5d/%5d %5d %5.1f@."
+      Fmt.pf ppf "%-12s %9d %4s %7d %7.1f %9s %6s %5d/%5d %5s %5d %5.1f@."
         r.r_stm r.r_dpor.Explore.runs
         (if r.r_dpor.Explore.exhaustive then "yes" else "cut")
         r.r_dpor.Explore.schedules_pruned r.r_dpor.Explore.reduction_factor
@@ -209,6 +245,8 @@ let pp_table ppf results =
         | Some false -> "FAIL"
         | None -> "-")
         r.r_verdicts.sat r.r_verdicts.unsat
+        (if r.r_graph_mismatch = 0 then "ok"
+         else Fmt.str "%dBAD" r.r_graph_mismatch)
         (List.length r.r_races.Race.races)
         r.r_seconds)
     results
@@ -253,6 +291,7 @@ let to_json cfg ~wall results =
      "distinct_histories": %d, "naive_distinct_histories": %d,
      "verdicts": {"sat": %d, "unsat": %d, "unknown": %d},
      "naive_verdicts": %s,
+     "graph": {"checked": %d, "mismatch": %d},
      "racy_schedules": %d,
      "races": [%s],
      "seconds": %.3f,
@@ -270,7 +309,7 @@ let to_json cfg ~wall results =
           Fmt.str {|{"sat": %d, "unsat": %d, "unknown": %d}|} v.sat v.unsat
             v.unknown
       | None -> "null")
-      r.r_racy_schedules
+      r.r_graph_checked r.r_graph_mismatch r.r_racy_schedules
       (String.concat ", " (List.map race_json r.r_races.Race.races))
       r.r_seconds (ok r)
   in

@@ -51,6 +51,13 @@ type stm_result = {
           Unknown) is.  Equality when both enumerations finished,
           [naive ⊆ DPOR] when one was cut off; [None] when no baseline
           ran *)
+  r_graph_checked : int;
+      (** distinct histories also judged by
+          {!Tm_checker.Conflict_graph.check_or_fallback} *)
+  r_graph_mismatch : int;
+      (** decided disagreements between the graph backend and
+          [check_fast] — always 0 unless one of the two checker cores is
+          wrong *)
   r_seconds : float;
 }
 
@@ -60,8 +67,9 @@ val run_stm : config -> string -> stm_result
 val run : config -> stm_result list
 
 val ok : stm_result -> bool
-(** No [Unknown] verdicts, baseline agreement when one ran, and [safe]
-    algorithms all-[Sat] and race-free.  (Whether a control {e must} be
+(** No [Unknown] verdicts, baseline agreement when one ran, zero
+    graph-backend mismatches, and [safe] algorithms all-[Sat] and
+    race-free.  (Whether a control {e must} be
     flagged depends on the workload actually having cross-fiber conflicts,
     so that expectation lives with the contended configs in the tests and
     the bench, not here.) *)

@@ -29,12 +29,22 @@ let analyze ?max_nodes ~family ~depths () =
   in
   check_monotone members;
   let deepest = match List.rev members with (_, h) :: _ -> h | [] -> History.empty in
-  (* Transactions that are complete in some member. *)
-  let completes_somewhere k =
-    List.exists
+  (* Transactions that are complete in some member: one complete-id table
+     per member, built in a single pass, instead of scanning each member's
+     whole transaction list per queried id. *)
+  let complete_sets =
+    List.map
       (fun (_, h) ->
-        List.mem k (History.txns h) && Txn.is_complete (History.info h k))
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (t : Txn.t) ->
+            if Txn.is_complete t then Hashtbl.replace tbl t.Txn.id ())
+          (History.infos h);
+        tbl)
       members
+  in
+  let completes_somewhere k =
+    List.exists (fun tbl -> Hashtbl.mem tbl k) complete_sets
   in
   let never_complete =
     List.filter (fun k -> not (completes_somewhere k)) (History.txns deepest)

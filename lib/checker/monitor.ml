@@ -14,6 +14,10 @@ type outcome = [ `Ok | `Violation of string | `Budget of string ]
 type t = {
   max_nodes : int option;
   inc : Du_opacity.inc;  (* persistent search context for the fallback *)
+  graph : Conflict_graph.Inc.t;
+      (* incremental conflict-graph backend, fed every accepted event;
+         consulted before each backtracking search and trusted whenever it
+         decides — see [run_search] *)
   mutable history : History.t;
   mutable failed : outcome option;  (* [None] while the prefix is du-opaque *)
   mutable rev_order : Event.tx list;
@@ -23,6 +27,7 @@ type t = {
   mutable events_seen : int;
   mutable responses_seen : int;
   mutable fastpath_hits : int;
+  mutable graph_hits : int;
   mutable searches_run : int;
   mutable nodes_total : int;
   mutable pending : int;
@@ -41,6 +46,7 @@ let create ?max_nodes () =
   {
     max_nodes;
     inc = Du_opacity.incremental ();
+    graph = Conflict_graph.Inc.create ();
     history = History.empty;
     failed = None;
     rev_order = [];
@@ -50,6 +56,7 @@ let create ?max_nodes () =
     events_seen = 0;
     responses_seen = 0;
     fastpath_hits = 0;
+    graph_hits = 0;
     searches_run = 0;
     nodes_total = 0;
     pending = 0;
@@ -73,6 +80,36 @@ let fail m o =
   o
 
 let run_search m h' =
+  (* The graph backend has already ingested every accepted event; when it
+     decides the prefix, no backtracking search is needed.  A [Sat]
+     certificate is only adopted after the independent validator accepts
+     it, so the monitor's invariant is preserved unconditionally; an
+     [Unsat] is sound by construction (forced edges only, no heuristic
+     taint).  Only [Ambiguous] — duplicate written values, retracted
+     reads-from bindings, heuristic contradictions — reaches the search. *)
+  let graph_decision =
+    match Conflict_graph.Inc.verdict m.graph with
+    | Conflict_graph.Sat cert -> (
+        match Serialization.validate ~claim:Serialization.Du_opaque h' cert with
+        | Ok () -> Some (Verdict.Sat cert)
+        | Error _ -> None (* defensive: arbitrate with the search *))
+    | Conflict_graph.Unsat why -> Some (Verdict.Unsat why)
+    | Conflict_graph.Ambiguous _ -> None
+  in
+  match graph_decision with
+  | Some (Verdict.Sat cert) ->
+      m.graph_hits <- m.graph_hits + 1;
+      m.rev_order <- List.rev cert.Serialization.order;
+      m.committed <- cert.Serialization.committed;
+      m.forward <- Some cert;
+      `Ok
+  | Some (Verdict.Unsat why) ->
+      m.graph_hits <- m.graph_hits + 1;
+      fail m
+        (`Violation
+          (Fmt.str "prefix of length %d is not du-opaque: %s"
+             (History.length h') why))
+  | Some (Verdict.Unknown _) | None ->
   let hint = (force_forward m).Serialization.order in
   let verdict, stats =
     Du_opacity.check_inc ?max_nodes:m.max_nodes ~hint m.inc h'
@@ -270,6 +307,7 @@ let push m ev =
       | Error e -> fail m (`Violation (Fmt.str "%a" History.pp_error e))
       | Ok h' -> (
           m.history <- h';
+          Conflict_graph.Inc.push m.graph ev;
           match ev with
           | Event.Inv (k, _) ->
               (* Extending by an invocation preserves du-opacity and its
@@ -312,6 +350,7 @@ let violation_index m = m.violation_index
 let events_seen m = m.events_seen
 let responses_seen m = m.responses_seen
 let fastpath_hits m = m.fastpath_hits
+let graph_hits m = m.graph_hits
 let searches_run m = m.searches_run
 let nodes_total m = m.nodes_total
 

@@ -81,6 +81,14 @@ val fastpath_hits : t -> int
 val searches_run : t -> int
 val nodes_total : t -> int
 
+val graph_hits : t -> int
+(** Fallback situations the incremental conflict-graph backend decided —
+    a validated [Sat] certificate adopted, or a sound [Unsat] — so no
+    backtracking search ran.  Counted inside {!searches_run}'s trigger
+    sites but not in {!searches_run} itself: a response is accounted to
+    exactly one of revalidation ({!fastpath_hits}), the graph, or the
+    search. *)
+
 type snapshot = {
   events : int;  (** {!events_seen} *)
   responses : int;  (** {!responses_seen} *)

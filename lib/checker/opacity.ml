@@ -1,7 +1,12 @@
+(* The indices in [response_indices] are ascending prefix lengths, one per
+   response, so [n] is among them iff the last event is a response — an
+   O(1) test, instead of scanning the list and copying it with a
+   non-tail-recursive append. *)
 let prefix_lengths h =
   let n = History.length h in
   let at_responses = History.response_indices h in
-  if List.mem n at_responses then at_responses else at_responses @ [ n ]
+  if n = 0 || Event.is_res (History.get h (n - 1)) then at_responses
+  else List.rev (n :: List.rev at_responses)
 
 let check ?max_nodes h =
   (* Check short prefixes first so [Unsat] reports the shortest violating

@@ -3,10 +3,11 @@ module Int_map = Map.Make (Int)
 exception Exhausted
 
 let check ?max_nodes h =
-  let committed = History.committed h in
+  let committed = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace committed k ()) (History.committed h);
   let infos =
     List.filter
-      (fun (t : Txn.t) -> List.mem t.Txn.id committed)
+      (fun (t : Txn.t) -> Hashtbl.mem committed t.Txn.id)
       (History.infos h)
     |> Array.of_list
   in
@@ -34,6 +35,29 @@ let check ?max_nodes h =
     in
     let final_writes = Array.map Txn.final_writes infos in
     let write_sets = Array.map Txn.write_set infos in
+    (* Write-write conflicts, computed once: the DFS consults them at every
+       node, where a per-candidate [List.mem] scan over write sets made the
+       inner loop quadratic in the write-set sizes. *)
+    let conflict =
+      let tbl = Hashtbl.create 64 in
+      Array.iteri
+        (fun i ws ->
+          List.iter
+            (fun x ->
+              match Hashtbl.find_opt tbl x with
+              | Some r -> r := i :: !r
+              | None -> Hashtbl.replace tbl x (ref [ i ]))
+            ws)
+        write_sets;
+      let m = Array.make_matrix n n false in
+      Hashtbl.iter
+        (fun _ r ->
+          List.iter
+            (fun i -> List.iter (fun j -> m.(i).(j) <- true) !r)
+            !r)
+        tbl;
+      m
+    in
     let budget = Option.value max_nodes ~default:max_int in
     let nodes = ref 0 in
     (* snapshots.(s) = database state after the first [s] placed commits *)
@@ -56,19 +80,12 @@ let check ?max_nodes h =
         if not placed.(i) then begin
           (* Write-write rule: the snapshot must start after the commit of
              every earlier transaction sharing a written variable. *)
-          let lower =
-            Array.to_list (Array.init n Fun.id)
-            |> List.fold_left
-                 (fun acc j ->
-                   if
-                     placed.(j)
-                     && List.exists
-                          (fun x -> List.mem x write_sets.(i))
-                          write_sets.(j)
-                   then max acc (position.(j) + 1)
-                   else acc)
-                 0
-          in
+          let lower = ref 0 in
+          for j = 0 to n - 1 do
+            if placed.(j) && conflict.(i).(j) then
+              lower := max !lower (position.(j) + 1)
+          done;
+          let lower = !lower in
           let feasible =
             let rec exists s = s <= depth && (reads_match i s || exists (s + 1)) in
             exists lower

@@ -150,21 +150,29 @@ let run params rng =
                 (if flip params.commit_ratio then Event.Try_commit
                  else Event.Try_abort))
   in
-  let runnable () =
-    let candidates = ref [] in
-    Array.iter (fun t -> if has_work t then candidates := t :: !candidates) threads;
-    !candidates
-  in
-  let rec loop () =
-    match runnable () with
-    | [] -> ()
-    | candidates ->
-        let n = List.length candidates in
-        let t = List.nth candidates (Random.State.int rng n) in
-        step t;
+  (* Candidate selection into a preallocated array: the cons-built list
+     this replaces was in reverse thread order and indexed with [List.nth],
+     O(threads) per pick — so the index maps to [k - 1 - i] to keep seeded
+     schedules bit-identical. *)
+  if Array.length threads > 0 then begin
+    let cand = Array.make (Array.length threads) threads.(0) in
+    let rec loop () =
+      let k = ref 0 in
+      Array.iter
+        (fun t ->
+          if has_work t then begin
+            cand.(!k) <- t;
+            incr k
+          end)
+        threads;
+      if !k > 0 then begin
+        let i = Random.State.int rng !k in
+        step cand.(!k - 1 - i);
         loop ()
-  in
-  loop ();
+      end
+    in
+    loop ()
+  end;
   History.of_events_exn (List.rev !events)
 
 let run_seed params seed = run params (Random.State.make [| seed |])

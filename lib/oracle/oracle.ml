@@ -1,4 +1,5 @@
 module Du = Tm_checker.Du_opacity
+module Conflict_graph = Tm_checker.Conflict_graph
 module Monitor = Tm_checker.Monitor
 module Verdict = Tm_checker.Verdict
 module Serialization = Tm_checker.Serialization
@@ -59,7 +60,11 @@ let boundaries h =
   if n = 0 then []
   else
     let bs = History.response_indices h in
-    if bs <> [] && List.nth bs (List.length bs - 1) = n then bs else bs @ [ n ]
+    (* [bs] is ascending with one entry per response, so its last element
+       is [n] iff the final event is a response — an O(1) test on the last
+       event instead of an O(n) walk to the last cons cell *)
+    if Event.is_res (History.get h (n - 1)) then bs
+    else List.rev (n :: List.rev bs)
 
 (* --- the lockstep oracle ------------------------------------------------- *)
 
@@ -105,6 +110,18 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
         let v = Du.check_fast ~max_nodes h in
         (match v with Verdict.Sat c -> validate_cert "fast" h c | _ -> ());
         v3_of_verdict v)
+  in
+  (* Conflict-graph backend on the full history.  [Ambiguous] maps to
+     [Unk3]: on duplicate-value histories the graph soundly declines rather
+     than guessing, and [Unk3] never counts as a discrepancy. *)
+  let graph =
+    timed "graph" (fun () ->
+        match Conflict_graph.check h with
+        | Conflict_graph.Sat c ->
+            validate_cert "graph" h c;
+            Ok3
+        | Conflict_graph.Unsat _ -> Bad3
+        | Conflict_graph.Ambiguous _ -> Unk3)
   in
   (* Incremental path: one [check_inc] per response boundary over a
      persistent context, stopping at the first non-ok verdict (the
@@ -164,6 +181,7 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
     | _ -> ()
   in
   cmp "batch" "fast" batch fast "";
+  cmp "batch" "graph" batch graph "";
   cmp "inc" "monitor" inc monitor "";
   (* Per-prefix agreement: the monitor's outcome after event [b-1] is its
      verdict on the prefix of length [b], which the incremental path judged

@@ -56,6 +56,14 @@ type lockstep_result = {
           history — legitimate non-prefix-closure, not a discrepancy *)
 }
 
+val boundaries : History.t -> int list
+(** Ascending prefix lengths at which a verdict can change: one per
+    response, plus the full length when the history ends mid-operation
+    (a trailing invocation still extends the history).  O(n) and shares
+    {!History.response_indices}'s list when the final event is a
+    response — the lockstep driver walks it per history, and the test
+    suite timing-guards it at ≥2000 responses. *)
+
 val lockstep :
   ?max_nodes:int ->
   ?submit:(History.t -> [ `Ok | `Violation of string | `Budget of string ]) ->
@@ -65,6 +73,10 @@ val lockstep :
 
     - batch [Du_opacity.check] and [Du_opacity.check_fast] on the full
       history (certificates validated);
+    - the conflict-graph backend ({!Tm_checker.Conflict_graph.check}) on
+      the full history, certificate validated and verdict compared
+      against the batch search — [Ambiguous] counts as undecided, never
+      as a discrepancy;
     - [Du_opacity.check_inc] over a fresh incremental context, one call per
       response boundary (certificates validated on small histories);
     - a fresh {!Tm_checker.Monitor} fed event by event, compared against

@@ -16,6 +16,7 @@ let () =
     @ Test_limit.suite
     @ Test_shrink.suite
     @ Test_satellites.suite
+    @ Test_conflict_graph.suite
     @ Test_analysis.suite
     @ Test_soak_corpus.suite
     @ Test_tools.suite

@@ -1,0 +1,217 @@
+(* The conflict-graph du-opacity backend against the search: agreement on
+   every soak source (including fault-injected streams), figure-catalog
+   parity, the Finding-3 duplicate-writes fallback, incremental prefix
+   verdicts, and the monitor's graph fast path. *)
+
+open Tm_safety
+open Helpers
+
+let max_nodes = 500_000
+
+(* --- QCheck equivalence over the soak sources ---------------------------- *)
+
+let soak_sources : Oracle.source list =
+  [
+    `Gen; `Stm "tl2"; `Stm "norec"; `Stm "pessimistic"; `Faults "tl2";
+    `Faults "norec";
+  ]
+
+let gen_soak_history =
+  QCheck2.Gen.map
+    (fun (i, seed) ->
+      Oracle.produce (List.nth soak_sources (i mod List.length soak_sources))
+        ~seed)
+    QCheck2.Gen.(pair (int_range 0 5) (int_range 0 100_000))
+
+let validated name h = function
+  | Conflict_graph.Sat c -> (
+      match Serialization.validate ~claim:Serialization.Du_opaque h c with
+      | Ok () -> true
+      | Error why ->
+          QCheck2.Test.fail_reportf "%s: certificate rejected: %s" name why)
+  | Conflict_graph.Unsat _ | Conflict_graph.Ambiguous _ -> true
+
+(* The raw backend must agree with the search whenever it decides, and the
+   fallback-complete entry point must agree whenever both decide. *)
+let prop_graph_agrees =
+  qtest ~count:1000 "Conflict_graph ≡ Du_opacity over soak sources"
+    gen_soak_history
+    (fun h ->
+      let raw = Conflict_graph.check h in
+      let v = Du_opacity.check ~max_nodes h in
+      ignore (validated "raw" h raw);
+      let raw_ok =
+        match raw, v with
+        | Conflict_graph.Sat _, Verdict.Sat _
+        | Conflict_graph.Unsat _, Verdict.Unsat _
+        | Conflict_graph.Ambiguous _, _
+        | _, Verdict.Unknown _ ->
+            true
+        | _ -> false
+      in
+      let fb_ok =
+        match Conflict_graph.check_or_fallback ~max_nodes h, v with
+        | Verdict.Sat _, Verdict.Sat _ | Verdict.Unsat _, Verdict.Unsat _ ->
+            true
+        | Verdict.Unknown _, _ | _, Verdict.Unknown _ -> true
+        | _ -> false
+      in
+      raw_ok && fb_ok)
+
+(* --- figure-catalog parity ------------------------------------------------ *)
+
+let test_catalog () =
+  List.iter
+    (fun (e : Figures.expectation) ->
+      (match Conflict_graph.check e.Figures.history with
+      | Conflict_graph.Sat _ when not e.Figures.du_opaque ->
+          Alcotest.failf "%s: graph says Sat, paper says not du-opaque"
+            e.Figures.name
+      | Conflict_graph.Unsat why when e.Figures.du_opaque ->
+          Alcotest.failf "%s: graph says Unsat (%s), paper says du-opaque"
+            e.Figures.name why
+      | _ -> ());
+      check_verdict
+        (e.Figures.name ^ " (graph+fallback)")
+        e.Figures.du_opaque
+        (Conflict_graph.check_or_fallback ~max_nodes e.Figures.history))
+    Figures.catalog
+
+(* --- Finding 3: duplicate written values route to the fallback ------------ *)
+
+let test_corollary2_gap_fallback () =
+  let h, prefix_len = Tm_figures.Findings.corollary2_gap in
+  (match Conflict_graph.check h with
+  | Conflict_graph.Ambiguous _ -> ()
+  | Conflict_graph.Sat _ | Conflict_graph.Unsat _ ->
+      Alcotest.fail
+        "duplicate-writes history must be Ambiguous for the raw backend");
+  check_sat "full corollary2_gap history (fallback)"
+    (Conflict_graph.check_or_fallback ~max_nodes h);
+  check_unsat "corollary2_gap prefix (fallback)"
+    (Conflict_graph.check_or_fallback ~max_nodes (History.prefix h prefix_len))
+
+(* --- incremental prefix verdicts ------------------------------------------ *)
+
+let test_inc_prefix_verdicts () =
+  let params =
+    {
+      Stm.Workload.default with
+      n_threads = 3;
+      txns_per_thread = 4;
+      ops_per_txn = 3;
+      n_vars = 4;
+      values = `Unique;
+    }
+  in
+  let h = (Sim.Runner.run ~stm:"tl2" ~params ~seed:11 ()).Sim.Runner.history in
+  let g = Conflict_graph.Inc.create () in
+  let decided = ref 0 in
+  List.iteri
+    (fun i ev ->
+      Conflict_graph.Inc.push g ev;
+      if Event.is_res ev then begin
+        let hp = History.prefix h (i + 1) in
+        match Conflict_graph.Inc.verdict g, Du_opacity.check ~max_nodes hp with
+        | Conflict_graph.Sat _, Verdict.Sat _
+        | Conflict_graph.Unsat _, Verdict.Unsat _ ->
+            incr decided
+        | Conflict_graph.Ambiguous _, _ | _, Verdict.Unknown _ -> ()
+        | Conflict_graph.Sat _, Verdict.Unsat _ ->
+            Alcotest.failf "prefix %d: graph Sat, search Unsat" (i + 1)
+        | Conflict_graph.Unsat _, Verdict.Sat _ ->
+            Alcotest.failf "prefix %d: graph Unsat, search Sat" (i + 1)
+      end)
+    (History.to_list h);
+  if !decided = 0 then
+    Alcotest.fail "graph decided no prefix of a recorded TL2 stream"
+
+(* --- monitor graph fast path ---------------------------------------------- *)
+
+let test_monitor_graph_hits () =
+  (* A recorded unique-writes TL2 stream: every response must be absorbed
+     by revalidation or decided by the graph — a backtracking search
+     running here is the fast-path regression this test guards. *)
+  let params =
+    {
+      Stm.Workload.default with
+      n_threads = 3;
+      txns_per_thread = 6;
+      ops_per_txn = 3;
+      n_vars = 4;
+      values = `Unique;
+    }
+  in
+  let h = (Sim.Runner.run ~stm:"tl2" ~params ~seed:5 ()).Sim.Runner.history in
+  let m = Monitor.create ~max_nodes () in
+  List.iter (fun ev -> ignore (Monitor.push m ev)) (History.to_list h);
+  (match Monitor.status m with
+  | `Ok -> ()
+  | `Violation why | `Budget why ->
+      Alcotest.failf "recorded TL2 stream rejected: %s" why);
+  Alcotest.(check int) "every response accounted to exactly one path"
+    (Monitor.responses_seen m)
+    (Monitor.fastpath_hits m + Monitor.graph_hits m + Monitor.searches_run m);
+  Alcotest.(check int) "no backtracking search ran" 0 (Monitor.searches_run m)
+
+let test_monitor_graph_unsat () =
+  (* A read served before the writer is even commit-pending: the graph
+     decides Unsat without a search, and the monitor reports the sticky
+     violation at the right prefix. *)
+  let h = Parse.of_string_exn "W1(X,1)->ok R2(X)->1 C2->C C1->C" in
+  check_unsat "search agrees the stream violates" (Du_opacity.check h);
+  (match Conflict_graph.check h with
+  | Conflict_graph.Unsat _ -> ()
+  | Conflict_graph.Sat _ -> Alcotest.fail "graph accepted a du violation"
+  | Conflict_graph.Ambiguous why ->
+      Alcotest.failf "graph must decide this unique-writes stream: %s" why);
+  let m = Monitor.create ~max_nodes () in
+  let outcome = Monitor.push_all m (History.to_list h) in
+  (match outcome with
+  | `Violation _ -> ()
+  | `Ok -> Alcotest.fail "monitor accepted a du violation"
+  | `Budget why -> Alcotest.failf "budget on a 8-event history: %s" why);
+  Alcotest.(check int) "violating prefix" 4
+    (Option.value ~default:(-1) (Monitor.violation_index m));
+  Alcotest.(check int) "the graph decided it" 0 (Monitor.searches_run m)
+
+(* --- offline check smoke at a non-toy size -------------------------------- *)
+
+let test_offline_medium () =
+  let params =
+    {
+      Stm.Workload.default with
+      n_threads = 4;
+      txns_per_thread = 250;
+      ops_per_txn = 4;
+      n_vars = 16;
+      values = `Unique;
+    }
+  in
+  let h = (Sim.Runner.run ~stm:"tl2" ~params ~seed:3 ()).Sim.Runner.history in
+  let r, stats = Conflict_graph.check_stats h in
+  (match r with
+  | Conflict_graph.Sat c -> (
+      match Serialization.validate ~claim:Serialization.Du_opaque h c with
+      | Ok () -> ()
+      | Error why -> Alcotest.failf "certificate rejected: %s" why)
+  | Conflict_graph.Unsat why -> Alcotest.failf "recorded TL2 unsat: %s" why
+  | Conflict_graph.Ambiguous why ->
+      Alcotest.failf "unique-writes stream ambiguous: %s" why);
+  if stats.Conflict_graph.nodes < 500 then
+    Alcotest.failf "expected a non-toy run, interned %d nodes"
+      stats.Conflict_graph.nodes
+
+let suite =
+  [
+    ( "conflict graph",
+      [
+        test "figure catalog parity" test_catalog;
+        test "Finding 3 routes to fallback" test_corollary2_gap_fallback;
+        test "incremental prefix verdicts" test_inc_prefix_verdicts;
+        test "monitor graph fast path" test_monitor_graph_hits;
+        test "monitor graph Unsat path" test_monitor_graph_unsat;
+        slow "offline check, ~10k events" test_offline_medium;
+        prop_graph_agrees;
+      ] );
+  ]

@@ -70,11 +70,13 @@ let test_matches_offline () =
     Figures.catalog
 
 let test_budget () =
-  (* The revalidation fast path absorbs everything it can, so the budget
-     needs a response that forces a search: a read from a commit-pending
-     writer makes the engine reorder/flip decisions, which one node cannot
-     finish. *)
-  let h = Dsl.(history [ w 1 x 1; c_inv 1; r 2 x 1 ]) in
+  (* The revalidation fast path absorbs everything it can and the graph
+     backend decides anything with forced edges only, so the budget needs
+     a response that reaches the backtracking search: a duplicate written
+     value (two live writers of [X=1]) makes the graph decline as
+     Ambiguous, and the read from a commit-pending writer defeats
+     revalidation — the 1-node search budget then trips. *)
+  let h = Dsl.(history [ w 1 x 1; c_inv 1; w 2 x 1; r 3 x 1 ]) in
   let m = Monitor.create ~max_nodes:1 () in
   match Monitor.push_all m (History.to_list h) with
   | `Budget _ -> ()

@@ -184,12 +184,162 @@ let prop_equivalent_matches_reference seed =
     [ h; shuffled; other; shorter ]
   && History.equivalent h shuffled
 
+(* --- Gen's scheduler: seeded golden traces --------------------------------
+
+   The candidate-selection loop moved from a cons-built list indexed with
+   [List.nth] (O(threads) per pick, reverse thread order) to a preallocated
+   array; the index maps through [k - 1 - i], so seeded histories must stay
+   bit-for-bit identical.  Captured before the refactor. *)
+
+let golden_gen_42 =
+  "R1(X)->0 A1->A R2(X) W3(X,3)->ok R3(X) ret2:0 W4(Y,2)->ok W5(Y,1) \
+   W4(X,2)->ok W4(Y,3)->ok ret5:ok R5(Y) R2(Y)->0 R4(X)->2 R2(Y) ret5:1 \
+   R6(Z) ret2:0 R2(Z)->0 R8(Z) C2 ret8:0 R8(Z)->0 R7(Z) W8(Y,1) W9(X,2) \
+   ret2:C ret8:ok W8(Y,3) R10(Y) ret8:ok C8 ret10:0 W10(Z,2)->ok R10(Z) \
+   ret8:C"
+
+let golden_gen_7 =
+  "W3(Y,1) W1(Y,2)->ok ret3:ok W3(Z,2) C1->C R4(Y)->1 R4(X)->0 W2(Y,1) \
+   R4(W) R5(X) ret2:ok C2 ret4:A W6(Z,1) ret2:C ret6:ok ret5:1 R6(Z) \
+   W7(Z,2) R8(Z) W9(X,3) ret7:ok R7(W) W5(Y,1) ret7:1 ret9:ok ret5:ok C7 \
+   W9(X,2) W10(W,2) ret9:ok C5 W9(Z,2) ret7:C ret10:ok ret9:ok W10(Z,1) \
+   C9->C ret10:ok W10(Z,1)->ok R12(X)->0 W12(X,3)->ok R11(Y)->2 C10->C \
+   W12(Z,1) R11(Z)->0 ret12:ok ret5:A C12->C W14(W,2) C11 R13(Z) ret11:C"
+
+let test_golden_gen_42 () =
+  let params =
+    {
+      Gen.default with
+      n_txns = 10;
+      n_vars = 3;
+      n_threads = 3;
+      max_ops = 4;
+      pending_ratio = 0.2;
+    }
+  in
+  Alcotest.(check string) "gen seed 42" golden_gen_42
+    (Parse.to_text (Gen.run_seed params 42))
+
+let test_golden_gen_7 () =
+  let params =
+    {
+      Gen.default with
+      n_txns = 14;
+      n_vars = 4;
+      n_threads = 4;
+      max_ops = 3;
+      mode = `Random_values;
+    }
+  in
+  Alcotest.(check string) "gen seed 7" golden_gen_7
+    (Parse.to_text (Gen.run_seed params 7))
+
+(* --- snapshot-isolation verdicts under the conflict-matrix rewrite --------
+
+   The DFS's write-write lower bound moved from per-candidate [List.mem]
+   scans over write sets to a precomputed conflict matrix; one verdict
+   character per seed, captured before the rewrite. *)
+
+let golden_si_verdicts =
+  "SSSSSSSSSSSSSSSSSUSSUSSUSSUSSSSSSSSUSSSSSUSSUSSSSSUSSUSSSSSU"
+
+let test_golden_si () =
+  let buf = Buffer.create 64 in
+  for seed = 1 to 60 do
+    let params =
+      {
+        Gen.default with
+        n_txns = 6;
+        n_vars = 2;
+        n_threads = 3;
+        mode = (if seed mod 3 = 0 then `Random_values else `Snapshot_values);
+      }
+    in
+    let h = Gen.run_seed params seed in
+    Buffer.add_char buf
+      (match Snapshot_isolation.check ~max_nodes:200_000 h with
+      | Verdict.Sat _ -> 'S'
+      | Verdict.Unsat _ -> 'U'
+      | Verdict.Unknown _ -> '?')
+  done;
+  Alcotest.(check string) "SI verdicts, seeds 1..60" golden_si_verdicts
+    (Buffer.contents buf)
+
+(* --- prefix-boundary helpers: semantics and scale -------------------------- *)
+
+let serial_history ~txns =
+  let events = ref [] in
+  for i = txns downto 1 do
+    events :=
+      Event.Inv (i, Event.Write (0, i))
+      :: Event.Res (i, Event.Write_ok)
+      :: Event.Inv (i, Event.Try_commit)
+      :: Event.Res (i, Event.Committed)
+      :: !events
+  done;
+  History.of_events_exn !events
+
+let test_boundary_semantics () =
+  let h = serial_history ~txns:3 in
+  let n = History.length h in
+  let expected = [ 2; 4; 6; 8; 10; 12 ] in
+  Alcotest.(check (list int)) "ends at a response" expected
+    (Opacity.prefix_lengths h);
+  Alcotest.(check (list int)) "oracle agrees" expected (Oracle.boundaries h);
+  let h' =
+    History.of_events_exn
+      (History.to_list h @ [ Event.Inv (4, Event.Read 0) ])
+  in
+  Alcotest.(check (list int)) "trailing invocation appended once"
+    (expected @ [ n + 1 ])
+    (Opacity.prefix_lengths h');
+  Alcotest.(check (list int)) "oracle agrees on the trailing invocation"
+    (expected @ [ n + 1 ])
+    (Oracle.boundaries h');
+  Alcotest.(check (list int)) "empty" [] (Opacity.prefix_lengths History.empty);
+  Alcotest.(check (list int)) "oracle empty" [] (Oracle.boundaries History.empty)
+
+let test_boundary_scale () =
+  (* ≥2000 responses, many calls: the helpers are a single O(n) pass with
+     no per-call scan or tail append.  A reintroduced quadratic pattern
+     (scan-to-last + copy per call, compounding over calls) blows the
+     generous wall-clock bound; the linear version finishes in well under
+     a second. *)
+  let h = serial_history ~txns:1500 in
+  let h' =
+    History.of_events_exn
+      (History.to_list h @ [ Event.Inv (2000, Event.Read 0) ])
+  in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 500 do
+    ignore (Opacity.prefix_lengths h);
+    ignore (Oracle.boundaries h);
+    ignore (Opacity.prefix_lengths h');
+    ignore (Oracle.boundaries h')
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 10.0 then
+    Alcotest.failf "3000-response boundary helpers took %.1fs for 500 calls"
+      elapsed
+
 let suite =
   [
     ( "scheduler: seeded golden traces",
       [
         test "tl2 seed 42 reproduces bit-for-bit" test_golden_tl2;
         test "norec seed 7 reproduces bit-for-bit" test_golden_norec;
+      ] );
+    ( "gen: seeded golden traces",
+      [
+        test "seed 42 reproduces bit-for-bit" test_golden_gen_42;
+        test "seed 7 reproduces bit-for-bit" test_golden_gen_7;
+      ] );
+    ( "snapshot isolation: seeded golden verdicts",
+      [ test "seeds 1..60 unchanged" test_golden_si ] );
+    ( "prefix boundaries",
+      [
+        test "response/invocation endings" test_boundary_semantics;
+        slow "≥2000-response timing guard" test_boundary_scale;
       ] );
     ( "monitor: pending gauge",
       [
