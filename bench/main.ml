@@ -1140,12 +1140,76 @@ let bench_verify () =
 (* --- Section: check ------------------------------------------------------ *)
 
 let opt_check_sizes = ref [ 10_000; 100_000; 1_000_000 ]
+let opt_check_criterion = ref "du"
+
+(* Containment sweep for [bench check --criterion both]: every du-opaque
+   history from every soak source must be last-use-opaque (theorem of the
+   optional-visibility rendering), and the early-release source should
+   populate the separation class.  CI gates on r_lastuse_containment = 0. *)
+let check_containment () =
+  let sources = Oracle.default_sources in
+  let seeds = 24 in
+  let histories = ref 0
+  and du_sat = ref 0
+  and lu_sat = ref 0
+  and separated = ref 0
+  and containment = ref 0
+  and undecided = ref 0 in
+  List.iteri
+    (fun i source ->
+      for s = 1 to seeds do
+        let h = Oracle.produce source ~seed:(1000 + (i * seeds) + s) in
+        incr histories;
+        let du = Du_opacity.check_fast ~max_nodes:2_000_000 h in
+        let lu = Last_use_opacity.check_fast ~max_nodes:2_000_000 h in
+        match (du, Last_use_opacity.to_verdict lu) with
+        | Verdict.Sat _, Verdict.Sat _ ->
+            incr du_sat;
+            incr lu_sat
+        | Verdict.Sat _, Verdict.Unsat _ ->
+            incr du_sat;
+            incr containment
+        | Verdict.Unsat _, Verdict.Sat _ ->
+            incr lu_sat;
+            incr separated
+        | Verdict.Unsat _, Verdict.Unsat _ -> ()
+        | Verdict.Unknown _, _ | _, Verdict.Unknown _ -> incr undecided
+      done)
+    sources;
+  if not !json_mode then begin
+    Fmt.pr "@.# containment sweep: %d sources x %d seeds@."
+      (List.length sources) seeds;
+    Fmt.pr
+      "  histories %d  du-sat %d  lu-sat %d  separated %d  undecided %d  \
+       containment-violations %d@."
+      !histories !du_sat !lu_sat !separated !undecided !containment;
+    if !containment = 0 then
+      Fmt.pr "  => du-opaque implies last-use-opaque on every history@."
+    else Fmt.pr "  => CONTAINMENT THEOREM VIOLATED — checker bug@."
+  end;
+  Fmt.str
+    {|"containment": {"histories": %d, "du_sat": %d, "lu_sat": %d, "r_separated": %d, "undecided": %d, "r_lastuse_containment": %d}|}
+    !histories !du_sat !lu_sat !separated !undecided !containment
 
 let bench_check () =
+  let criterion = !opt_check_criterion in
+  let du_on = criterion = "du" || criterion = "both" in
+  let lu_on = criterion = "last-use" || criterion = "both" in
+  if not ((du_on || lu_on) && criterion <> "")
+     || not (List.mem criterion [ "du"; "last-use"; "both" ])
+  then begin
+    Fmt.epr "bench: --criterion must be du, last-use or both (got %S)@."
+      criterion;
+    exit 1
+  end;
   if not !json_mode then
     section_header
-      "check — du-opacity backends vs history size (TL2-recorded, unique \
-       writes)";
+      (Fmt.str
+         "check — %s backends vs history size (TL2-recorded, unique writes)"
+         (match criterion with
+         | "du" -> "du-opacity"
+         | "last-use" -> "last-use-opacity"
+         | _ -> "du- and last-use-opacity"));
   let history_of ~target =
     let threads = 4 and ops = 4 in
     (* ~10 events per transaction attempt: 2 per op plus the tryC pair. *)
@@ -1192,16 +1256,33 @@ let bench_check () =
       let n = History.length h in
       if not !json_mode then
         Fmt.pr "@.# target %d -> %d recorded events@." target n;
-      time n "graph"
-        (fun () -> Conflict_graph.check h)
-        (function
-          | Conflict_graph.Sat _ -> "sat"
-          | Conflict_graph.Unsat _ -> "unsat"
-          | Conflict_graph.Ambiguous _ -> "ambiguous");
-      if n <= search_cap then
-        time n "search" (fun () -> Du_opacity.check h) verdict_of;
-      if n <= fast_cap then
-        time n "fast" (fun () -> Du_opacity.check_fast h) verdict_of)
+      if du_on then begin
+        time n "graph"
+          (fun () -> Conflict_graph.check h)
+          (function
+            | Conflict_graph.Sat _ -> "sat"
+            | Conflict_graph.Unsat _ -> "unsat"
+            | Conflict_graph.Ambiguous _ -> "ambiguous");
+        if n <= search_cap then
+          time n "search" (fun () -> Du_opacity.check h) verdict_of;
+        if n <= fast_cap then
+          time n "fast" (fun () -> Du_opacity.check_fast h) verdict_of
+      end;
+      if lu_on then begin
+        (* The last-use core shares the greedy conflict-order fast path, so
+           it belongs on the same axis as [fast]; the decorated search gets
+           the same cap as the du search. *)
+        if n <= fast_cap then
+          time n "lu-fast"
+            (fun () ->
+              Last_use_opacity.to_verdict (Last_use_opacity.check_fast h))
+            verdict_of;
+        if n <= search_cap then
+          time n "lu-search"
+            (fun () ->
+              Last_use_opacity.to_verdict (Last_use_opacity.check h))
+            verdict_of
+      end)
     !opt_check_sizes;
   let rows = List.rev !rows in
   (* Speedups at every size where the graph and a capped backend both ran. *)
@@ -1217,9 +1298,13 @@ let bench_check () =
             rows)
       rows
   in
+  let containment_json =
+    if criterion = "both" then Some (check_containment ()) else None
+  in
   if !json_mode then
     Fmt.pr
-      {|{"bench": "check", "rows": [%s], "speedup_over_graph": [%s]}@.|}
+      {|{"bench": "check", "criterion": %S, "rows": [%s], "speedup_over_graph": [%s]%s}@.|}
+      criterion
       (String.concat ", "
          (List.map
             (fun (n, b, s, v) ->
@@ -1234,6 +1319,7 @@ let bench_check () =
             (fun (n, b, x) ->
               Fmt.str {|{"events": %d, "backend": "%s", "factor": %.1f}|} n b x)
             speedups))
+      (match containment_json with Some j -> ", " ^ j | None -> "")
   else begin
     List.iter
       (fun (n, b, x) ->
@@ -1294,6 +1380,11 @@ let () =
     | "--socket" :: rest ->
         parse (opt_value "--socket" (fun s -> s)
                  (fun v -> opt_service_socket := Some v) rest)
+    | "--criterion" :: rest ->
+        parse
+          (opt_value "--criterion" (fun s -> s)
+             (fun v -> opt_check_criterion := v)
+             rest)
     | "--sizes" :: rest ->
         parse
           (opt_value "--sizes"

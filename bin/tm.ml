@@ -63,6 +63,7 @@ let timeline_arg =
 
 type property =
   | P_du
+  | P_last_use
   | P_opacity
   | P_final_state
   | P_tms2
@@ -76,6 +77,7 @@ let property_conv =
   Arg.enum
     [
       ("du", P_du);
+      ("last-use", P_last_use);
       ("opacity", P_opacity);
       ("final-state", P_final_state);
       ("tms2", P_tms2);
@@ -106,8 +108,14 @@ let du_checks backend =
   | B_graph -> [ graph ]
   | B_both -> [ ("du-opacity (search)", snd search); graph ]
 
+let last_use_check =
+  ( "last-use opacity",
+    fun ?max_nodes h ->
+      Last_use_opacity.to_verdict (Last_use_opacity.check ?max_nodes h) )
+
 let rec checks_of_property backend = function
   | P_du -> du_checks backend
+  | P_last_use -> [ last_use_check ]
   | P_opacity -> [ ("opacity", fun ?max_nodes h -> Opacity.check ?max_nodes h) ]
   | P_final_state ->
       [ ("final-state opacity", fun ?max_nodes h -> Final_state.check ?max_nodes h) ]
@@ -129,9 +137,21 @@ let rec checks_of_property backend = function
   | P_all ->
       List.concat_map (checks_of_property backend)
         [
-          P_du; P_opacity; P_final_state; P_tms2; P_rco; P_ser; P_strict_ser;
-          P_si;
+          P_du; P_last_use; P_opacity; P_final_state; P_tms2; P_rco; P_ser;
+          P_strict_ser; P_si;
         ]
+
+(* [--criterion] narrows a check run to the du vs last-use comparison the
+   verify/bench surfaces report on; it overrides [--property] when given. *)
+type criterion = C_du | C_lastuse | C_both
+
+let criterion_conv =
+  Arg.enum [ ("du", C_du); ("last-use", C_lastuse); ("both", C_both) ]
+
+let checks_of_criterion backend = function
+  | C_du -> checks_of_property backend P_du
+  | C_lastuse -> [ last_use_check ]
+  | C_both -> checks_of_property backend P_du @ [ last_use_check ]
 
 let check_cmd =
   let property_arg =
@@ -160,12 +180,53 @@ let check_cmd =
       value & opt backend_conv B_search
       & info [ "backend"; "b" ] ~docv:"BACKEND" ~doc)
   in
-  let run input property backend max_nodes timeline certificate shrink =
+  let criterion_arg =
+    let doc =
+      "Safety criterion to judge: $(docv) ∈ du|last-use|both.  Overrides \
+       $(b,--property); [both] prints one verdict line per criterion, \
+       which is how early-release histories show the two separate."
+    in
+    Arg.(
+      value & opt (some criterion_conv) None
+      & info [ "criterion" ] ~docv:"CRIT" ~doc)
+  in
+  let dot_arg =
+    let doc =
+      "On a du-opacity violation, write a Graphviz rendering of the \
+       (shrunk, when $(b,--shrink) is given) violating core to $(docv), \
+       with the conflict-graph counterexample cycle highlighted."
+    in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let run input property criterion backend max_nodes timeline certificate
+      shrink dot =
     match history_of_input input with
     | Error e -> e
     | Ok h ->
         if timeline then Fmt.pr "%s@." (Pretty.timeline h);
         let worst = ref 0 in
+        let emit_dot core =
+          match dot with
+          | None -> ()
+          | Some path ->
+              let cycle = Conflict_graph.counterexample_cycle core in
+              let oc = open_out path in
+              output_string oc (Dot.of_history ?cycle core);
+              close_out oc;
+              Fmt.pr "  dot graph%s: %s@."
+                (match cycle with
+                | Some c ->
+                    Fmt.str " (cycle %a)"
+                      Fmt.(list ~sep:(any "->") (fmt "T%d"))
+                      c
+                | None -> "")
+                path
+        in
+        let checks =
+          match criterion with
+          | Some c -> checks_of_criterion backend c
+          | None -> checks_of_property backend property
+        in
         List.iter
           (fun (name, check) ->
             match check ?max_nodes h with
@@ -176,27 +237,29 @@ let check_cmd =
             | Verdict.Unsat why -> (
                 worst := max !worst 1;
                 Fmt.pr "%-28s NO   (%s)@." name why;
-                if shrink then
-                  match
+                match
+                  if shrink then
                     Shrink.minimal_violation
                       ~check:(fun h -> check ?max_nodes h)
                       h
-                  with
-                  | Some core ->
-                      Fmt.pr "  minimal violating core (%d events):@.%s"
-                        (History.length core) (Pretty.timeline core);
-                      Fmt.pr "  text: %s@." (Parse.to_text core)
-                  | None -> ())
+                  else None
+                with
+                | Some core ->
+                    Fmt.pr "  minimal violating core (%d events):@.%s"
+                      (History.length core) (Pretty.timeline core);
+                    Fmt.pr "  text: %s@." (Parse.to_text core);
+                    emit_dot core
+                | None -> emit_dot h)
             | Verdict.Unknown why ->
                 worst := max !worst 2;
                 Fmt.pr "%-28s ???  (%s)@." name why)
-          (checks_of_property backend property);
+          checks;
         if !worst = 0 then `Ok () else `Error_code !worst
   in
   let term =
     Term.(
-      const run $ input_arg $ property_arg $ backend_arg $ max_nodes_arg
-      $ timeline_arg $ certificate_arg $ shrink_arg)
+      const run $ input_arg $ property_arg $ criterion_arg $ backend_arg
+      $ max_nodes_arg $ timeline_arg $ certificate_arg $ shrink_arg $ dot_arg)
   in
   let handle = function
     | `Ok () -> 0
@@ -1019,6 +1082,15 @@ let verify_cmd =
             "Schedule budget for the naive branch-everywhere baseline \
              (cross-checks the DPOR verdict set; 0 skips it).")
   in
+  let max_retries =
+    Arg.(
+      value & opt int 4
+      & info [ "max-retries" ]
+          ~doc:
+            "Per-program attempt budget; every retry is a fresh \
+             transaction DPOR must explore, so keep it small for \
+             abort-prone algorithms.")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -1031,8 +1103,8 @@ let verify_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"PATH" ~doc:"Write a JSON report to $(docv).")
   in
-  let run stms threads txns ops vars seed max_runs naive_budget verbose json
-      max_nodes =
+  let run stms threads txns ops vars seed max_runs naive_budget max_retries
+      verbose json max_nodes =
     let cfg =
       {
         Analysis.Verify.stms;
@@ -1048,6 +1120,7 @@ let verify_cmd =
         seed;
         max_runs;
         naive_max_runs = naive_budget;
+        max_retries;
         max_nodes = Option.value max_nodes ~default:1_000_000;
       }
     in
@@ -1085,7 +1158,7 @@ let verify_cmd =
           schedule's access trace, and a naive-DFS verdict cross-check")
     Term.(
       const run $ stms $ threads $ txns $ ops $ vars $ seed $ max_runs
-      $ naive_budget $ verbose $ json_arg $ max_nodes_arg)
+      $ naive_budget $ max_retries $ verbose $ json_arg $ max_nodes_arg)
 
 (* --- tm lint ------------------------------------------------------------- *)
 

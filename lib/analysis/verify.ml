@@ -1,5 +1,6 @@
 module Explore = Tm_sim.Explore
 module Du = Tm_checker.Du_opacity
+module Lu = Tm_checker.Last_use_opacity
 module Verdict = Tm_checker.Verdict
 
 type config = {
@@ -8,6 +9,7 @@ type config = {
   seed : int;
   max_runs : int;
   naive_max_runs : int;
+  max_retries : int;
   max_nodes : int;
 }
 
@@ -26,6 +28,7 @@ let default =
     seed = 1;
     max_runs = 200_000;
     naive_max_runs = 300_000;
+    max_retries = 4;
     max_nodes = 1_000_000;
   }
 
@@ -41,6 +44,9 @@ type stm_result = {
   r_dpor : Explore.outcome;
   r_histories : int;
   r_verdicts : verdicts;
+  r_lu_verdicts : verdicts;
+  r_lastuse_containment : int;
+  r_separated : int;
   r_races : Race.report;
   r_racy_schedules : int;
   r_naive : Explore.outcome option;
@@ -55,14 +61,21 @@ type stm_result = {
 let empty_report =
   { Race.accesses = 0; locations = 0; sync_locations = 0; races = [] }
 
-(* Judge a deduplicated history set.  With [graph], every history is also
-   judged by the conflict-graph backend (falling back to the search on
-   [Ambiguous]) and decided disagreements are counted — the exhaustive
-   small-scope cross-check of the two checker cores. *)
+(* Judge a deduplicated history set under both criteria.  With [graph],
+   every history is also judged by the conflict-graph backend (falling back
+   to the search on [Ambiguous]) and decided disagreements are counted —
+   the exhaustive small-scope cross-check of the two checker cores.  Every
+   history additionally drives the criterion lattice: [containment] counts
+   du-opaque histories that fail last-use opacity (a theorem violation,
+   must be 0 everywhere), [separated] counts the interesting converse —
+   last-use-opaque histories that are not du-opaque, the class the
+   early-release STM exists to produce. *)
 let verdicts_of ?(graph = false) cfg (histories : (string, History.t) Hashtbl.t)
     =
   let sat = ref 0 and unsat = ref 0 and unknown = ref 0 in
-  let first_unsat = ref None in
+  let lu_sat = ref 0 and lu_unsat = ref 0 and lu_unknown = ref 0 in
+  let first_unsat = ref None and lu_first_unsat = ref None in
+  let containment = ref 0 and separated = ref 0 in
   let graph_checked = ref 0 and graph_mismatch = ref 0 in
   Hashtbl.iter
     (fun key h ->
@@ -74,6 +87,18 @@ let verdicts_of ?(graph = false) cfg (histories : (string, History.t) Hashtbl.t)
           if !first_unsat = None then
             first_unsat := Some (Fmt.str "%s@.%s" why (String.trim key))
       | Verdict.Unknown _ -> incr unknown);
+      let l = Lu.check_fast ~max_nodes:cfg.max_nodes h in
+      (match l with
+      | Lu.Sat _ -> incr lu_sat
+      | Lu.Unsat why ->
+          incr lu_unsat;
+          if !lu_first_unsat = None then
+            lu_first_unsat := Some (Fmt.str "%s@.%s" why (String.trim key))
+      | Lu.Ambiguous _ -> incr lu_unknown);
+      (match v, l with
+      | Verdict.Sat _, Lu.Unsat _ -> incr containment
+      | Verdict.Unsat _, Lu.Sat _ -> incr separated
+      | _ -> ());
       if graph then begin
         incr graph_checked;
         let g = Tm_checker.Conflict_graph.check_or_fallback ~max_nodes:cfg.max_nodes h in
@@ -92,6 +117,14 @@ let verdicts_of ?(graph = false) cfg (histories : (string, History.t) Hashtbl.t)
       unknown = !unknown;
       first_unsat = !first_unsat;
     },
+    {
+      sat = !lu_sat;
+      unsat = !lu_unsat;
+      unknown = !lu_unknown;
+      first_unsat = !lu_first_unsat;
+    },
+    !containment,
+    !separated,
     !graph_checked,
     !graph_mismatch )
 
@@ -118,11 +151,12 @@ let run_stm cfg stm =
   in
   let dpor =
     Explore.explore_stm_results ~algo:`Dpor ~max_runs:cfg.max_runs
-      ~trace:true ~stm ~params:cfg.params ~seed:cfg.seed ~on_result ()
+      ~max_retries:cfg.max_retries ~trace:true ~stm ~params:cfg.params
+      ~seed:cfg.seed ~on_result ()
   in
   (* Verdicts over the distinct histories, each cross-checked against the
-     conflict-graph backend. *)
-  let dv, graph_checked, graph_mismatch =
+     conflict-graph backend and judged under both safety criteria. *)
+  let dv, lv, containment, separated, graph_checked, graph_mismatch =
     verdicts_of ~graph:true cfg histories
   in
   (* Naive baseline: same transition system, branch-everywhere DFS.  The
@@ -139,10 +173,11 @@ let run_stm cfg stm =
         if not (Hashtbl.mem nh key) then Hashtbl.add nh key h
       in
       let o =
-        Explore.explore_stm ~algo:`Naive ~max_runs:cfg.naive_max_runs ~stm
-          ~params:cfg.params ~seed:cfg.seed ~on_history ()
+        Explore.explore_stm ~algo:`Naive ~max_runs:cfg.naive_max_runs
+          ~max_retries:cfg.max_retries ~stm ~params:cfg.params ~seed:cfg.seed
+          ~on_history ()
       in
-      let nv, _, _ = verdicts_of cfg nh in
+      let nv, _, _, _, _, _ = verdicts_of cfg nh in
       let flags (v : verdicts) = (v.sat > 0, v.unsat > 0, v.unknown > 0) in
       (* A truncated enumeration can only under-approximate. *)
       let sub (a, b, c) (a', b', c') =
@@ -163,6 +198,9 @@ let run_stm cfg stm =
     r_dpor = dpor;
     r_histories = Hashtbl.length histories;
     r_verdicts = dv;
+    r_lu_verdicts = lv;
+    r_lastuse_containment = containment;
+    r_separated = separated;
     r_races = !races;
     r_racy_schedules = !racy_schedules;
     r_naive = naive;
@@ -184,11 +222,18 @@ let run cfg =
 
 let ok r =
   r.r_verdicts.unknown = 0
+  && r.r_lu_verdicts.unknown = 0
   && r.r_match <> Some false
   && r.r_graph_mismatch = 0
+  && r.r_lastuse_containment = 0
   &&
   if List.mem r.r_stm Tm_stm.Registry.safe then
     r.r_verdicts.unsat = 0 && not (Race.racy r.r_races)
+  else if List.mem r.r_stm Tm_stm.Registry.lastuse_safe then
+    (* Early release sits strictly between the criteria: every history
+       last-use-opaque, race-free — du-violations are expected, not
+       required (that depends on the workload's contention). *)
+    r.r_lu_verdicts.unsat = 0 && not (Race.racy r.r_races)
   else true
 
 (* --- rendering ------------------------------------------------------------- *)
@@ -201,11 +246,17 @@ let pp_outcome ppf (o : Explore.outcome) =
 let pp_result ppf r =
   Fmt.pf ppf
     "@[<v 2>%s: DPOR %a, %d pruned (%.1fx), %d distinct histories@,\
-     verdicts: %d sat / %d unsat / %d unknown@,races: %a (%d racy schedule%s)"
+     du-opacity: %d sat / %d unsat / %d unknown@,\
+     last-use:   %d sat / %d unsat / %d unknown (%d separated, %d \
+     containment violation%s)@,\
+     races: %a (%d racy schedule%s)"
     r.r_stm pp_outcome r.r_dpor r.r_dpor.schedules_pruned
     r.r_dpor.reduction_factor r.r_histories r.r_verdicts.sat
-    r.r_verdicts.unsat r.r_verdicts.unknown Race.pp_report r.r_races
-    r.r_racy_schedules
+    r.r_verdicts.unsat r.r_verdicts.unknown r.r_lu_verdicts.sat
+    r.r_lu_verdicts.unsat r.r_lu_verdicts.unknown r.r_separated
+    r.r_lastuse_containment
+    (if r.r_lastuse_containment = 1 then "" else "s")
+    Race.pp_report r.r_races r.r_racy_schedules
     (if r.r_racy_schedules = 1 then "" else "s");
   Fmt.pf ppf "@,graph backend: %d cross-checked, %d mismatch%s"
     r.r_graph_checked r.r_graph_mismatch
@@ -223,18 +274,23 @@ let pp_result ppf r =
   (match r.r_verdicts.first_unsat with
   | Some w -> Fmt.pf ppf "@,@[<v 2>first violation:@,%a@]" Fmt.lines w
   | None -> ());
+  (match r.r_lu_verdicts.first_unsat with
+  | Some w ->
+      Fmt.pf ppf "@,@[<v 2>first last-use violation:@,%a@]" Fmt.lines w
+  | None -> ());
   Fmt.pf ppf "@]"
 
 let pp_table ppf results =
-  Fmt.pf ppf "%-12s %9s %4s %7s %7s %9s %6s %5s/%5s %5s %5s %5s@." "stm"
-    "dpor" "exh" "pruned" "factor" "naive" "match" "sat" "unsat" "graph"
-    "races" "sec";
+  Fmt.pf ppf "%-13s %9s %4s %7s %9s %6s %5s/%5s %5s/%5s %4s %4s %5s %5s %5s@."
+    "stm" "dpor" "exh" "pruned" "naive" "match" "du+" "du-" "lu+" "lu-" "sep"
+    "cont" "graph" "races" "sec";
   List.iter
     (fun r ->
-      Fmt.pf ppf "%-12s %9d %4s %7d %7.1f %9s %6s %5d/%5d %5s %5d %5.1f@."
+      Fmt.pf ppf
+        "%-13s %9d %4s %7d %9s %6s %5d/%5d %5d/%5d %4d %4s %5s %5d %5.1f@."
         r.r_stm r.r_dpor.Explore.runs
         (if r.r_dpor.Explore.exhaustive then "yes" else "cut")
-        r.r_dpor.Explore.schedules_pruned r.r_dpor.Explore.reduction_factor
+        r.r_dpor.Explore.schedules_pruned
         (match r.r_naive with
         | Some n ->
             Fmt.str "%d%s" n.Explore.runs
@@ -244,7 +300,10 @@ let pp_table ppf results =
         | Some true -> "ok"
         | Some false -> "FAIL"
         | None -> "-")
-        r.r_verdicts.sat r.r_verdicts.unsat
+        r.r_verdicts.sat r.r_verdicts.unsat r.r_lu_verdicts.sat
+        r.r_lu_verdicts.unsat r.r_separated
+        (if r.r_lastuse_containment = 0 then "0"
+         else Fmt.str "%dBAD" r.r_lastuse_containment)
         (if r.r_graph_mismatch = 0 then "ok"
          else Fmt.str "%dBAD" r.r_graph_mismatch)
         (List.length r.r_races.Race.races)
@@ -290,6 +349,8 @@ let to_json cfg ~wall results =
      "verdict_sets_match": %s,
      "distinct_histories": %d, "naive_distinct_histories": %d,
      "verdicts": {"sat": %d, "unsat": %d, "unknown": %d},
+     "lu_verdicts": {"sat": %d, "unsat": %d, "unknown": %d},
+     "r_lastuse_containment": %d, "r_separated": %d,
      "naive_verdicts": %s,
      "graph": {"checked": %d, "mismatch": %d},
      "racy_schedules": %d,
@@ -303,7 +364,8 @@ let to_json cfg ~wall results =
       | Some b -> string_of_bool b
       | None -> "null")
       r.r_histories r.r_naive_histories r.r_verdicts.sat r.r_verdicts.unsat
-      r.r_verdicts.unknown
+      r.r_verdicts.unknown r.r_lu_verdicts.sat r.r_lu_verdicts.unsat
+      r.r_lu_verdicts.unknown r.r_lastuse_containment r.r_separated
       (match r.r_naive_verdicts with
       | Some v ->
           Fmt.str {|{"sat": %d, "unsat": %d, "unknown": %d}|} v.sat v.unsat
@@ -318,7 +380,8 @@ let to_json cfg ~wall results =
   "bench": "verify",
   "params": {"n_threads": %d, "txns_per_thread": %d, "ops_per_txn": %d,
              "n_vars": %d, "read_ratio": %.2f, "seed": %d,
-             "max_runs": %d, "naive_max_runs": %d, "max_nodes": %d},
+             "max_runs": %d, "naive_max_runs": %d, "max_retries": %d,
+             "max_nodes": %d},
   "wall_s": %.3f,
   "stms": [
 %s
@@ -326,5 +389,5 @@ let to_json cfg ~wall results =
 }
 |}
     p.n_threads p.txns_per_thread p.ops_per_txn p.n_vars p.read_ratio cfg.seed
-    cfg.max_runs cfg.naive_max_runs cfg.max_nodes wall
+    cfg.max_runs cfg.naive_max_runs cfg.max_retries cfg.max_nodes wall
     (String.concat ",\n" (List.map stm_json results))

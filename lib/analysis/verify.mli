@@ -2,7 +2,10 @@
 
     For each algorithm, enumerates {e every} schedule of a small workload
     with {!Tm_sim.Explore} (DPOR by default), checks each distinct recorded
-    history with {!Tm_checker.Du_opacity.check_fast}, and runs the
+    history under {e both} safety criteria
+    ({!Tm_checker.Du_opacity.check_fast} and
+    {!Tm_checker.Last_use_opacity.check_fast} — including the containment
+    theorem du ⇒ last-use as a per-history invariant), and runs the
     happens-before race analyzer ({!Race}) over each schedule's
     shared-memory trace.  Optionally replays the same workload under the
     naive branch-everywhere DFS to cross-check the reduction: DPOR explores
@@ -18,6 +21,12 @@ type config = {
   seed : int;
   max_runs : int;  (** DPOR schedule budget *)
   naive_max_runs : int;  (** naive-baseline budget; [0] skips the baseline *)
+  max_retries : int;
+      (** per-program attempt budget for the harness.  Small by design:
+          every retry is a fresh transaction whose interleavings DPOR must
+          also explore, and abort-prone algorithms (early release aborts a
+          reader whenever its dependency is still unresolved at commit)
+          turn a generous budget into schedule-space explosion *)
   max_nodes : int;  (** du-opacity search budget per history *)
 }
 
@@ -37,7 +46,15 @@ type stm_result = {
   r_stm : string;
   r_dpor : Tm_sim.Explore.outcome;
   r_histories : int;  (** distinct histories over all DPOR schedules *)
-  r_verdicts : verdicts;  (** over distinct histories *)
+  r_verdicts : verdicts;  (** du-opacity, over distinct histories *)
+  r_lu_verdicts : verdicts;  (** last-use opacity, over the same set *)
+  r_lastuse_containment : int;
+      (** histories du-opaque but {e not} last-use-opaque — a violation of
+          the containment theorem, must be 0 for every STM *)
+  r_separated : int;
+      (** histories last-use-opaque but not du-opaque: the separation
+          class.  Expected positive for the early-release STM on contended
+          workloads, 0 for every du-safe algorithm *)
   r_races : Race.report;  (** merged over every schedule's trace *)
   r_racy_schedules : int;
   r_naive : Tm_sim.Explore.outcome option;
@@ -67,12 +84,14 @@ val run_stm : config -> string -> stm_result
 val run : config -> stm_result list
 
 val ok : stm_result -> bool
-(** No [Unknown] verdicts, baseline agreement when one ran, zero
-    graph-backend mismatches, and [safe] algorithms all-[Sat] and
-    race-free.  (Whether a control {e must} be
-    flagged depends on the workload actually having cross-fiber conflicts,
-    so that expectation lives with the contended configs in the tests and
-    the bench, not here.) *)
+(** No [Unknown] verdicts under either criterion, baseline agreement when
+    one ran, zero graph-backend mismatches, zero containment violations,
+    [safe] algorithms all-[Sat] and race-free, and [lastuse_safe]
+    algorithms all last-use-[Sat] and race-free (their du-violations are
+    expected, not penalised).  (Whether a control {e must} be flagged
+    depends on the workload actually having cross-fiber conflicts, so that
+    expectation lives with the contended configs in the tests and the
+    bench, not here.) *)
 
 val pp_result : Format.formatter -> stm_result -> unit
 val pp_table : Format.formatter -> stm_result list -> unit

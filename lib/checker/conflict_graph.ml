@@ -161,6 +161,7 @@ module Inc = struct
     mutable idx : int;
     mutable poison : (int * string) option;  (* stream index it fired at *)
     mutable violation : (int * string) option;
+    mutable cycle : int list option;  (* first counterexample cycle (nodes) *)
     mutable taint : bool;
     mutable reorders : int;
     mutable repairs : int;
@@ -209,6 +210,7 @@ module Inc = struct
       idx = 0;
       poison = None;
       violation = None;
+      cycle = None;
       taint = false;
       reorders = 0;
       repairs = 0;
@@ -406,7 +408,57 @@ module Inc = struct
   let cycle_msg g u v =
     Fmt.str "ordering T%d before T%d closes a cycle" (tx g u) (tx g v)
 
+  (* The edge u -> v was refused because a path v ~> u already exists (the
+     insertion was rolled back, so the path still does).  Recover one such
+     path by parent-tracking DFS — the nodes of the counterexample cycle
+     u -> v -> ... -> u that [tm check --dot] renders. *)
+  let find_path g v u =
+    if v = u then Some [ v ]
+    else begin
+      let st = fresh_stamp g in
+      let parent = Hashtbl.create 32 in
+      g.dfs_stack.Pvec.n <- 0;
+      Pvec.push g.dfs_stack v;
+      Pvec.set g.mark v st;
+      let hit = ref false in
+      while g.dfs_stack.Pvec.n > 0 && not !hit do
+        let w = Pvec.get g.dfs_stack (g.dfs_stack.Pvec.n - 1) in
+        Pvec.pop g.dfs_stack;
+        let e = ref (Pvec.get g.out_head w) in
+        while !e >= 0 && not !hit do
+          let s = Pvec.get g.e_dst !e in
+          if Pvec.get g.mark s <> st then begin
+            Pvec.set g.mark s st;
+            Hashtbl.replace parent s w;
+            if s = u then hit := true else Pvec.push g.dfs_stack s
+          end;
+          e := Pvec.get g.e_next !e
+        done
+      done;
+      if not !hit then None
+      else begin
+        let rec build s acc =
+          if s = v then s :: acc else build (Hashtbl.find parent s) (s :: acc)
+        in
+        Some (build u [])
+      end
+    end
+
+  let record_cycle g u v =
+    if g.cycle = None then
+      match find_path g v u with
+      | Some path ->
+          (* [path] runs v ... u; drop the final u and prepend it so the
+             list reads u -> v -> ... (closing back to u implicitly). *)
+          let rec drop_last = function
+            | [] | [ _ ] -> []
+            | x :: rest -> x :: drop_last rest
+          in
+          g.cycle <- Some (u :: drop_last path)
+      | None -> ()
+
   let on_cycle g u v =
+    record_cycle g u v;
     if g.taint then
       poison g
         (Fmt.str "%s (after a heuristic write-order choice)" (cycle_msg g u v))
@@ -720,16 +772,22 @@ module Inc = struct
       | `Ok ->
           g.repairs <- g.repairs + 1;
           true
-      | `Cycle -> contradiction g (cycle_msg g u v)
+      | `Cycle ->
+          record_cycle g u v;
+          contradiction g (cycle_msg g u v)
     in
     if r.rd_writer < 0 then begin
       if Pvec.get g.ord w'' >= Pvec.get g.ord i then false
-      else if reach g w'' i then
+      else if reach g w'' i then begin
+        (* the read forces i -> w'', but w'' already reaches i: that path
+           plus the forced edge is the counterexample cycle *)
+        record_cycle g i w'';
         contradiction g
           (Fmt.str
              "T%d reads the initial value of %a but committed writer T%d \
               must precede it"
              (tx g i) (pp_var g) r.rd_var (tx g w''))
+      end
       else added i w''
     end
     else begin
@@ -746,6 +804,9 @@ module Inc = struct
         (* i -> w'' would close a cycle *)
         match (fst_blocked, snd_blocked) with
         | true, true ->
+            (* evicting w'' after the reader closes i -> w'' -> ... -> i;
+               record that direction's cycle as the counterexample *)
+            record_cycle g i w'';
             contradiction g
               (Fmt.str
                  "committed writer T%d cannot leave the interval between \
@@ -1010,6 +1071,7 @@ module Inc = struct
             r))
 
   let events g = g.idx
+  let cycle g = Option.map (List.map (tx g)) g.cycle
 
   let stats g =
     {
@@ -1027,6 +1089,13 @@ let check_stats h =
   (Inc.verdict g, Inc.stats g)
 
 let check h = fst (check_stats h)
+
+let counterexample_cycle h =
+  let g = Inc.create () in
+  List.iter (Inc.push g) (History.to_list h);
+  (* verdict-time resolution can be what closes the cycle *)
+  ignore (Inc.verdict g);
+  Inc.cycle g
 
 let check_or_fallback ?max_nodes h =
   match check h with

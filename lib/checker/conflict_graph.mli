@@ -69,6 +69,15 @@ val check_or_fallback : ?max_nodes:int -> History.t -> Verdict.t
 (** {!check}, with {!Ambiguous} resolved by {!Du_opacity.check} — same
     verdicts as the exact search on every input. *)
 
+val counterexample_cycle : History.t -> Event.tx list option
+(** The first counterexample cycle the graph closed while judging [h]:
+    transactions [T_a -> T_b -> ... ] (implicitly closing back to [T_a]),
+    recovered from the edge arena at refusal time.  [None] when no edge
+    insertion ever closed a cycle — in particular on every accepted
+    history, but also on histories refuted by a value clause alone.
+    Feeds the cycle highlighting of {!Dot.of_history} via
+    [tm check --dot]. *)
+
 (** Incremental (online) interface: feed events as they arrive, ask for a
     verdict of the stream seen so far only when needed.  {!Monitor} pushes
     every accepted event here and consults {!Inc.verdict} before running a
@@ -92,4 +101,8 @@ module Inc : sig
   val events : t -> int
 
   val stats : t -> stats
+
+  val cycle : t -> Event.tx list option
+  (** As {!counterexample_cycle}, for the pushed prefix: set at the first
+      refused edge insertion, [None] before. *)
 end

@@ -21,10 +21,26 @@ let rt_edges h =
     (fun a -> List.filter_map (fun b -> if direct a b then Some (a, b) else None) txns)
     txns
 
-let of_history ?serialization h =
+let of_history ?serialization ?cycle h =
   let buf = Buffer.create 1024 in
   let pr fmt = Fmt.kstr (Buffer.add_string buf) fmt in
   pr "digraph history {\n  rankdir=LR;\n  node [style=filled, shape=box];\n";
+  (* Cycle highlighting: the listed transactions (and the edges between
+     consecutive ones, closing back to the first) are drawn in red. *)
+  let cycle = Option.value cycle ~default:[] in
+  let on_cycle k = List.mem k cycle in
+  let cycle_edges =
+    match cycle with
+    | [] -> []
+    | first :: _ ->
+        let rec pairs = function
+          | [] -> []
+          | [ last ] -> [ (last, first) ]
+          | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        in
+        pairs cycle
+  in
+  let cycle_edge a b = List.mem (a, b) cycle_edges in
   let position k =
     match serialization with
     | None -> None
@@ -43,13 +59,29 @@ let of_history ?serialization h =
         | Some p -> Fmt.str "T%d\\n%a\\nS[%d]" txn.Txn.id Txn.pp_status txn.Txn.status p
         | None -> Fmt.str "T%d\\n%a" txn.Txn.id Txn.pp_status txn.Txn.status
       in
-      pr "  t%d [label=\"%s\", fillcolor=%s];\n" txn.Txn.id label
-        (status_colour txn.Txn.status))
+      pr "  t%d [label=\"%s\", fillcolor=%s%s];\n" txn.Txn.id label
+        (status_colour txn.Txn.status)
+        (if on_cycle txn.Txn.id then ", color=red, penwidth=2" else ""))
     (History.infos h);
-  List.iter (fun (a, b) -> pr "  t%d -> t%d;\n" a b) (rt_edges h);
   List.iter
-    (fun (a, b) -> pr "  t%d -> t%d [style=dashed, color=grey40];\n" a b)
+    (fun (a, b) ->
+      if cycle_edge a b then pr "  t%d -> t%d [color=red, penwidth=2];\n" a b
+      else pr "  t%d -> t%d;\n" a b)
+    (rt_edges h);
+  List.iter
+    (fun (a, b) ->
+      if cycle_edge a b then
+        pr "  t%d -> t%d [style=dashed, color=red, penwidth=2];\n" a b
+      else pr "  t%d -> t%d [style=dashed, color=grey40];\n" a b)
     (Conflict_opacity.conflict_graph h
     |> List.filter (fun (a, b) -> not (History.rt_precedes h a b)));
+  (* cycle edges the drawn relations do not already contain (e.g. a
+     verdict-time anti-dependency repair) still need to appear *)
+  let drawn = rt_edges h @ Conflict_opacity.conflict_graph h in
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem (a, b) drawn) then
+        pr "  t%d -> t%d [style=dotted, color=red, penwidth=2];\n" a b)
+    cycle_edges;
   pr "}\n";
   Buffer.contents buf

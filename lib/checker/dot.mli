@@ -4,5 +4,13 @@
     for conflict order, and — when a serialization is supplied — node
     labels carrying its positions. *)
 
-val of_history : ?serialization:Serialization.t -> History.t -> string
-(** DOT source ([digraph]). *)
+val of_history :
+  ?serialization:Serialization.t ->
+  ?cycle:Event.tx list ->
+  History.t ->
+  string
+(** DOT source ([digraph]).  [cycle] (as produced by
+    {!Conflict_graph.counterexample_cycle}) highlights the listed
+    transactions and the edges between consecutive ones — closing back to
+    the first — in red; a cycle edge that is neither a real-time nor a
+    conflict edge (a verdict-time repair) is added dotted. *)

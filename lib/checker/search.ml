@@ -1,4 +1,4 @@
-type mode = Plain | Du
+type mode = Plain | Du | Last_use
 
 type options = {
   mode : mode;
@@ -14,6 +14,7 @@ let default =
     max_nodes = None; hint = None }
 
 let du = { default with mode = Du }
+let lu = { default with mode = Last_use }
 
 type stats = { nodes : int; memo_hits : int; prefiltered : bool }
 
@@ -41,6 +42,8 @@ type ictx = {
   mutable final_writes : (int * Event.value) list array;  (* dense var ids *)
   mutable choices : bool list array;
   mutable tryc_inv : int option array;
+  mutable closing : (int * int) list array;
+      (* dense var -> res index of the closing (last) write, per txn *)
   mutable rt_preds : int list array;  (* must-precede (real time), dense *)
   mutable demands : int list array;  (* keys of external reads *)
   index : (Event.tx, int) Hashtbl.t;
@@ -64,6 +67,7 @@ let ictx (opts : options) =
     final_writes = [||];
     choices = [||];
     tryc_inv = [||];
+    closing = [||];
     rt_preds = [||];
     demands = [||];
     index = Hashtbl.create 64;
@@ -88,6 +92,7 @@ let grow c =
     c.final_writes <- g c.final_writes [];
     c.choices <- g c.choices [];
     c.tryc_inv <- g c.tryc_inv None;
+    c.closing <- g c.closing [];
     c.rt_preds <- g c.rt_preds [];
     c.demands <- g c.demands []
   end
@@ -129,7 +134,9 @@ let refresh c h d =
   c.final_writes.(d) <-
     List.map (fun (x, v) -> (dense_var c x, v)) (Txn.final_writes txn);
   c.choices.(d) <- Txn.commit_choices txn;
-  c.tryc_inv.(d) <- Txn.tryc_inv_index txn
+  c.tryc_inv.(d) <- Txn.tryc_inv_index txn;
+  c.closing.(d) <-
+    List.map (fun (x, p) -> (dense_var c x, p)) (Txn.closing_writes txn)
 
 (* Consume the events of [h] beyond the last synced position.  [h] must be
    an extension of the history previously synced into [c] (the monitor only
@@ -206,21 +213,33 @@ let prefilter c h =
       (* Every external read of a non-initial value needs a possible writer:
          some other transaction whose final write to the variable has that
          value and that is allowed to commit — in Du mode, one that moreover
-         invoked tryC before the read's response. *)
+         invoked tryC before the read's response.  In Last_use mode a
+         writer that can never commit still serves a reader that may abort,
+         provided its closing write on the variable responded before the
+         read did (early release). *)
       let writer_possible i (r : Txn.read) =
+        let closed_before w =
+          match List.assoc_opt r.Txn.var c.closing.(w) with
+          | Some p -> p < r.Txn.res_index
+          | None -> false
+        in
         let ok w =
           w <> i
-          && List.mem true c.choices.(w)
           && List.exists
                (fun (x, v) -> x = r.Txn.var && v = r.Txn.value)
                c.final_writes.(w)
           &&
           match c.mode with
-          | Plain -> true
+          | Plain -> List.mem true c.choices.(w)
           | Du -> (
+              List.mem true c.choices.(w)
+              &&
               match c.tryc_inv.(w) with
               | Some j -> j < r.Txn.res_index
               | None -> false)
+          | Last_use ->
+              List.mem true c.choices.(w)
+              || (List.mem false c.choices.(i) && closed_before w)
         in
         let rec exists w = w < n && (ok w || exists (w + 1)) in
         exists 0
@@ -242,6 +261,9 @@ let prefilter c h =
                    c.ids.(i) r.Txn.value
                    (match c.mode with
                    | Du -> " having begun committing before the read returned"
+                   | Last_use ->
+                       " (or have closed the variable before the read \
+                        returned, the reader being abortable)"
                    | Plain -> ""))
           | None -> check (i + 1)
       in
@@ -264,7 +286,7 @@ let memo_key mode placed decision stacks n =
           match stack with
           | [] -> ()
           | (_, v) :: _ -> Buffer.add_string buf (string_of_int v))
-      | Du ->
+      | Du | Last_use ->
           List.iter
             (fun (w, _) ->
               Buffer.add_string buf (string_of_int w);
@@ -286,8 +308,26 @@ let equivalence_matrix c n preds succs =
   let all_reads =
     List.concat (List.init n (fun i -> c.reads.(i)))
   in
-  let sided tc (r : Txn.read) =
-    match tc with Some t -> t < r.Txn.res_index | None -> false
+  (* A writer's "sidedness" w.r.t. a read: did its tryC (and, in Last_use
+     mode, its closing write on the read's variable) respond before the
+     read did?  Interchangeable transactions must agree on it for every
+     read in the history, or transposing them changes which writers a
+     local serialization retains. *)
+  let sided k (r : Txn.read) =
+    let tc =
+      match c.tryc_inv.(k) with
+      | Some t -> t < r.Txn.res_index
+      | None -> false
+    in
+    let closed =
+      match c.mode with
+      | Plain | Du -> false
+      | Last_use -> (
+          match List.assoc_opt r.Txn.var c.closing.(k) with
+          | Some p -> p < r.Txn.res_index
+          | None -> false)
+    in
+    (tc, closed)
   in
   let equivalent i j =
     c.choices.(i) = c.choices.(j)
@@ -301,9 +341,7 @@ let equivalence_matrix c n preds succs =
         set_eq preds.(i) preds.(j)
         && set_eq succs.(i) succs.(j)
         (* identical sidedness as writers, for every read in the history *)
-        && List.for_all
-             (fun r -> sided c.tryc_inv.(i) r = sided c.tryc_inv.(j) r)
-             all_reads
+        && List.for_all (fun r -> sided i r = sided j r) all_reads
         (* pairwise matching reads, modulo the transposition *)
         && List.for_all2
              (fun (ri : Txn.read) (rj : Txn.read) ->
@@ -311,9 +349,7 @@ let equivalence_matrix c n preds succs =
                && ri.Txn.value = rj.Txn.value
                && (let rec upto k =
                      k >= n
-                     || (sided c.tryc_inv.(k) ri
-                         = sided c.tryc_inv.(swap k) rj
-                        && upto (k + 1))
+                     || (sided k ri = sided (swap k) rj && upto (k + 1))
                    in
                    upto 0))
              c.reads.(i) c.reads.(j))
@@ -475,7 +511,7 @@ let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
               global_ok
               &&
               match c.mode with
-              | Plain -> true
+              | Plain | Last_use -> true
               | Du -> (
                   (* Legality in the local serialization: the first retained
                      committed writer (scanning from the latest) must have
@@ -487,6 +523,41 @@ let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
                         else scan rest
                   in
                   scan stack))
+            c.reads.(i)
+        in
+        (* Last-use legality is decision-dependent, so it is checked per
+           commit choice inside the expansion loop.  In Last_use mode the
+           stacks carry {e every} placed writer ([decision] tells the
+           committed ones apart):
+
+           - a reader that commits must be Vis-legal — its reads see the
+             latest {e committed} write preceding it in the serialization
+             (aborted entries are skipped);
+           - a reader that does not commit is judged against LVis with
+             {e optional} visibility of closed writers: scanning latest
+             first, a committed writer is a mandatory stop (its value must
+             match), while a non-committed writer whose closing write on
+             the variable responded before the read is a candidate the
+             witness may but need not include (legal if the value matches,
+             skipped otherwise). *)
+        let released w (r : Txn.read) =
+          match List.assoc_opt r.Txn.var c.closing.(w) with
+          | Some p -> p < r.Txn.res_index
+          | None -> false
+        in
+        let reads_ok_lu i commit =
+          List.for_all
+            (fun (r : Txn.read) ->
+              let rec scan = function
+                | [] -> r.Txn.value = Event.init_value
+                | (w, v) :: rest ->
+                    if decision.(w) then r.Txn.value = v
+                    else if
+                      (not commit) && released w r && r.Txn.value = v
+                    then true
+                    else scan rest
+              in
+              scan stacks.(r.Txn.var))
             c.reads.(i)
         in
         let exception Found in
@@ -506,11 +577,14 @@ let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
                   (not placed.(i))
                   && pending.(i) = 0
                   && canonical i
-                  && reads_ok i
+                  && (c.mode = Last_use || reads_ok i)
                 then
                   List.iter
                     (fun commit ->
-                      if (not commit) || commit_allowed i then begin
+                      if
+                        ((not commit) || commit_allowed i)
+                        && (c.mode <> Last_use || reads_ok_lu i commit)
+                      then begin
                         placed.(i) <- true;
                         order.(depth) <- i;
                         decision.(i) <- commit;
@@ -524,11 +598,14 @@ let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
                             (fun k -> avail.(k) <- avail.(k) - 1)
                             supplies.(i);
                         let pushed =
-                          if commit then begin
+                          (* Last_use stacks carry aborted writers too (for
+                             the optional-candidate scan); only committed
+                             non-initial writes feed the prune accounting. *)
+                          if commit || c.mode = Last_use then begin
                             List.iter
                               (fun (x, v) ->
                                 stacks.(x) <- (i, v) :: stacks.(x);
-                                if v <> Event.init_value then begin
+                                if commit && v <> Event.init_value then begin
                                   nonzero_commits.(x) <- nonzero_commits.(x) + 1;
                                   if nonzero_commits.(x) = 1 then
                                     match zero_key.(x) with
@@ -545,7 +622,11 @@ let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
                            still needs to read? *)
                         let key_ok k = avail.(k) > 0 || waiting.(k) = 0 in
                         let feasible =
-                          if commit then
+                          (* Unsound in Last_use mode: a writer that can
+                             never commit may still supply abortable
+                             readers after its closing write. *)
+                          if c.mode = Last_use then true
+                          else if commit then
                             List.for_all
                               (fun (x, v) ->
                                 v = Event.init_value
@@ -563,7 +644,7 @@ let run c ~max_nodes ~hint ~extra_edges ~commit_edges h =
                             (match stacks.(x) with
                             | _ :: rest -> stacks.(x) <- rest
                             | [] -> assert false);
-                            if v <> Event.init_value then begin
+                            if commit && v <> Event.init_value then begin
                               nonzero_commits.(x) <- nonzero_commits.(x) - 1;
                               if nonzero_commits.(x) = 0 then
                                 match zero_key.(x) with

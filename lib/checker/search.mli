@@ -11,6 +11,16 @@
       value-returning read must be legal in its {e local serialization},
       computed incrementally from the per-variable stacks of committed
       writes and the positions of [tryC] invocations in [H].
+    - {!mode} [Last_use] relaxes legality for non-committed readers per
+      Siek–Wojciechowski's last-use opacity (our per-location rendering):
+      a reader the serialization commits must still see the latest
+      committed preceding write, but a reader it aborts may additionally
+      read from a preceding {e non-committed} writer whose {e closing
+      write} on the variable (its last write to it in [H], see
+      {!Txn.closing_writes}) responded before the read did — the value an
+      early-release TM publishes.  Closed-writer visibility is optional
+      per read (the witness may skip a candidate), which makes every
+      final-state/du witness a last-use witness and containment a theorem.
     - [extra_edges] adds must-precede constraints between transactions,
       which is how the TMS2 and read-commit-order checkers are obtained.
 
@@ -24,7 +34,7 @@
     backtrack, and an optional node budget that turns the verdict into
     [Unknown] instead of running unbounded. *)
 
-type mode = Plain | Du
+type mode = Plain | Du | Last_use
 
 type options = {
   mode : mode;
@@ -47,6 +57,9 @@ val default : options
 
 val du : options
 (** [default] with [mode = Du]. *)
+
+val lu : options
+(** [default] with [mode = Last_use]. *)
 
 type stats = {
   nodes : int;  (** search nodes expanded *)

@@ -13,7 +13,7 @@ let pp ppf s =
   in
   Fmt.(list ~sep:(any ", ") pp_tx) ppf s.order
 
-type claim = Final_state | Du_opaque
+type claim = Final_state | Du_opaque | Last_use
 
 (* The t-sequential history denoted by the certificate (see .mli). *)
 let to_history h s =
@@ -164,12 +164,103 @@ let check_local_serializations h s =
   in
   go [] s.order
 
+(* Last-use legality (the [Last_use] claim), replayed over the
+   serialization order directly.  [Semantics.legal] is deliberately NOT
+   reused here: it demands every transaction — aborted ones included —
+   read the latest committed state, which is exactly the clause last-use
+   opacity relaxes.  Instead:
+
+   - a reader the serialization {e commits} is Vis-legal: each external
+     read sees the final write of the latest {e committed} preceding
+     writer of the variable (initial value if none);
+   - a reader it {e aborts} is judged against LVis with optional
+     visibility of closed writers: scanning preceding writers latest
+     first, a committed writer is a mandatory stop (value must match),
+     while a non-committed writer whose closing write on the variable
+     (its last write to it in [h]) responded before the read is a
+     candidate the witness may include (legal if the value matches) or
+     skip.  Internal reads must return the transaction's own latest
+     preceding write in both cases. *)
+let check_last_use h s =
+  let closing_cache = Hashtbl.create 16 in
+  let writes_cache = Hashtbl.create 16 in
+  let closing m =
+    match Hashtbl.find_opt closing_cache m with
+    | Some v -> v
+    | None ->
+        let v = Txn.closing_writes (History.info h m) in
+        Hashtbl.replace closing_cache m v;
+        v
+  in
+  let final_writes m =
+    match Hashtbl.find_opt writes_cache m with
+    | Some v -> v
+    | None ->
+        let v = Txn.final_writes (History.info h m) in
+        Hashtbl.replace writes_cache m v;
+        v
+  in
+  let check_read k k_commits before_rev (read : Txn.read) =
+    match read.Txn.kind with
+    | `Internal own ->
+        if read.Txn.value = own then Ok ()
+        else
+          Error
+            (Fmt.str "T%d: internal read of %a returned %d, own write was %d"
+               k Event.pp_tvar read.Txn.var read.Txn.value own)
+    | `External ->
+        let closed_before m =
+          match List.assoc_opt read.Txn.var (closing m) with
+          | Some p -> p < read.Txn.res_index
+          | None -> false
+        in
+        let rec scan = function
+          | [] -> read.Txn.value = Event.init_value
+          | m :: rest -> (
+              match List.assoc_opt read.Txn.var (final_writes m) with
+              | None -> scan rest
+              | Some v ->
+                  if commits s m then read.Txn.value = v
+                  else if
+                    (not k_commits) && closed_before m && read.Txn.value = v
+                  then true
+                  else scan rest)
+        in
+        if scan before_rev then Ok ()
+        else
+          Error
+            (Fmt.str
+               "T%d: read of %a returned %d, not justified by the latest \
+                committed preceding write nor by a closed preceding writer"
+               k Event.pp_tvar read.Txn.var read.Txn.value)
+  in
+  let rec go before_rev = function
+    | [] -> Ok ()
+    | k :: rest ->
+        let txn = History.info h k in
+        let result =
+          List.fold_left
+            (fun acc read ->
+              match acc with
+              | Error _ -> acc
+              | Ok () -> check_read k (commits s k) before_rev read)
+            (Ok ()) (Txn.reads txn)
+        in
+        (match result with
+        | Error _ -> result
+        | Ok () -> go (k :: before_rev) rest)
+  in
+  go [] s.order
+
 let validate ?(claim = Du_opaque) ?(respect_rt = true) h s =
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   let* () = check_permutation h s in
   let* () = check_decisions h s in
   let* () = if respect_rt then check_real_time h s else Ok () in
-  let* () = Semantics.legal (to_history h s) in
   match claim with
-  | Final_state -> Ok ()
-  | Du_opaque -> check_local_serializations h s
+  | Last_use -> check_last_use h s
+  | Final_state | Du_opaque ->
+      let* () = Semantics.legal (to_history h s) in
+      (match claim with
+      | Final_state | Last_use -> Ok ()
+      | Du_opaque -> check_local_serializations h s)

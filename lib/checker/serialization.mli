@@ -30,6 +30,17 @@ type claim =
       (** du-opacity (Definition 3): [Final_state] plus legality of every
           value-returning read in its local serialization w.r.t. [H] and
           [S] *)
+  | Last_use
+      (** final-state last-use opacity (Siek–Wojciechowski, per-location
+          rendering): equivalence, decisions and real-time order as in
+          [Final_state], but legality is replayed directly over [order] —
+          committed readers see the latest committed preceding write,
+          while non-committed readers may {e additionally} read from a
+          preceding non-committed writer whose {e closing write} on the
+          variable ({!Txn.closing_writes}) responded in [H] before the
+          read did.  Closed-writer visibility is optional per read, so
+          every valid [Final_state] or [Du_opaque] certificate also
+          validates under this claim. *)
 
 val validate :
   ?claim:claim ->

@@ -33,6 +33,7 @@ module Semantics = Tm_checker.Semantics
 module Completion = Tm_checker.Completion
 module Search = Tm_checker.Search
 module Du_opacity = Tm_checker.Du_opacity
+module Last_use_opacity = Tm_checker.Last_use_opacity
 module Opacity = Tm_checker.Opacity
 module Final_state = Tm_checker.Final_state
 module Tms2 = Tm_checker.Tms2

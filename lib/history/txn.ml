@@ -79,6 +79,19 @@ let final_writes info =
   Hashtbl.fold (fun x v acc -> (x, v) :: acc) buffer []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+let closing_writes info =
+  (* Response index of the last successful write per variable — the
+     "closing write" of the last-use-opacity decoration. *)
+  let buffer : (Event.tvar, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (op : Op.t) ->
+      match Op.write op, op.Op.res_index with
+      | Some (x, _), Some i -> Hashtbl.replace buffer x i
+      | _, _ -> ())
+    info.ops;
+  Hashtbl.fold (fun x i acc -> (x, i) :: acc) buffer []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let read_set info =
   List.map (fun r -> r.var) (reads info)
   |> List.sort_uniq Int.compare

@@ -56,6 +56,14 @@ val final_writes : t -> (Event.tvar * Event.value) list
 (** Latest successful write per variable — the update the transaction
     installs if it commits.  Sorted by variable. *)
 
+val closing_writes : t -> (Event.tvar * int) list
+(** Response index (position in the history) of the {e closing write} per
+    variable: the transaction's last successful write to that variable in
+    this history.  This is the per-location last-use decoration of
+    Siek–Wojciechowski's last-use opacity — once the closing write on [x]
+    has responded, the transaction will never change [x] again, so an
+    early-release TM may publish it.  Sorted by variable. *)
+
 val read_set : t -> Event.tvar list
 (** Variables read by completed value-returning reads (sorted, deduplicated):
     the paper's [Rset]. *)

@@ -1,4 +1,5 @@
 module Du = Tm_checker.Du_opacity
+module Lu = Tm_checker.Last_use_opacity
 module Conflict_graph = Tm_checker.Conflict_graph
 module Monitor = Tm_checker.Monitor
 module Verdict = Tm_checker.Verdict
@@ -8,7 +9,12 @@ module Clock = Tm_stm.Clock
 
 (* --- findings ----------------------------------------------------------- *)
 
-type finding_kind = Verdict_mismatch | Bad_certificate | Prefix_violation | Crash
+type finding_kind =
+  | Verdict_mismatch
+  | Bad_certificate
+  | Prefix_violation
+  | Containment_violation
+  | Crash
 
 type finding = {
   f_kind : finding_kind;
@@ -21,6 +27,7 @@ let kind_to_string = function
   | Verdict_mismatch -> "verdict-mismatch"
   | Bad_certificate -> "bad-certificate"
   | Prefix_violation -> "prefix-closure-violation"
+  | Containment_violation -> "containment-violation"
   | Crash -> "crash"
 
 let pp_finding ppf f =
@@ -172,6 +179,46 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
         mon_first_bad := Monitor.violation_index m;
         v3_of_outcome (Monitor.status m))
   in
+  (* Last-use-opacity legs: the batch checker and the per-boundary
+     incremental one.  The criterion is not prefix-closed, so the
+     incremental path is exact per prefix (never sticky) and every
+     boundary gets its own verdict; the verdict at the last boundary is
+     the verdict on the full history, which must match the batch leg. *)
+  let validate_lu_cert path hp cert =
+    match Serialization.validate ~claim:Serialization.Last_use hp cert with
+    | Ok () -> ()
+    | Error why ->
+        add Bad_certificate path "-"
+          (Fmt.str "prefix %d: %s" (History.length hp) why)
+  in
+  let lu_v3 = function
+    | Lu.Sat _ -> Ok3
+    | Lu.Unsat _ -> Bad3
+    | Lu.Ambiguous _ -> Unk3
+  in
+  let lu =
+    timed "lu" (fun () ->
+        let v = Lu.check ~max_nodes h in
+        (match v with Lu.Sat c -> validate_lu_cert "lu" h c | _ -> ());
+        lu_v3 v)
+  in
+  let lu_inc_verdicts = ref [] in
+  let lu_inc =
+    timed "lu-inc" (fun () ->
+        let inc = Lu.incremental () in
+        List.fold_left
+          (fun _ b ->
+            let hp = History.prefix h b in
+            let v, _stats = Lu.check_inc ~max_nodes inc hp in
+            (match v with
+            | Lu.Sat c when validate_prefix_certs ->
+                validate_lu_cert "lu-inc" hp c
+            | _ -> ());
+            let s = lu_v3 v in
+            lu_inc_verdicts := (b, s) :: !lu_inc_verdicts;
+            s)
+          Ok3 bs)
+  in
   (* Cross-checks.  Any two decided paths must agree. *)
   let cmp a b va vb ctx =
     match va, vb with
@@ -183,6 +230,25 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
   cmp "batch" "fast" batch fast "";
   cmp "batch" "graph" batch graph "";
   cmp "inc" "monitor" inc monitor "";
+  cmp "lu" "lu-inc" lu lu_inc "";
+  (* Containment as an executable theorem: du-opaque ⇒ last-use-opaque
+     (optional candidate visibility makes every du witness verbatim a
+     last-use witness).  Checked on the full history and, against the du
+     incremental path, per boundary — the sticky du path stops at its
+     first violation, so missing boundaries are simply not compared. *)
+  (match batch, lu with
+  | Some Ok3, Some Bad3 ->
+      add Containment_violation "batch" "lu"
+        "du-opaque but not last-use-opaque"
+  | _ -> ());
+  List.iter
+    (fun (b, vl) ->
+      match List.assoc_opt b !inc_verdicts with
+      | Some Ok3 when vl = Bad3 ->
+          add Containment_violation "inc" "lu-inc"
+            (Fmt.str "prefix %d: du-opaque but not last-use-opaque" b)
+      | _ -> ())
+    !lu_inc_verdicts;
   (* Per-prefix agreement: the monitor's outcome after event [b-1] is its
      verdict on the prefix of length [b], which the incremental path judged
      independently. *)
@@ -278,8 +344,11 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
       | None -> ()));
   let unknown =
     !arb_unknown
-    || List.exists (fun v -> v = Some Unk3) [ batch; fast; inc; monitor ]
+    || List.exists
+         (fun v -> v = Some Unk3)
+         [ batch; fast; inc; monitor; lu; lu_inc ]
     || List.exists (fun (_, v) -> v = Unk3) !inc_verdicts
+    || List.exists (fun (_, v) -> v = Unk3) !lu_inc_verdicts
     || Array.exists (fun v -> v = Unk3) (Array.sub mon_by_event 0 n)
   in
   {
@@ -296,7 +365,8 @@ type source = [ `Gen | `Stm of string | `Faults of string ]
 let default_sources =
   [
     `Gen; `Stm "tl2"; `Gen; `Stm "norec"; `Faults "tl2"; `Gen;
-    `Stm "pessimistic"; `Faults "norec";
+    `Stm "pessimistic"; `Faults "norec"; `Stm "early-release";
+    `Stm "partial-abort"; `Faults "early-release";
   ]
 
 let source_tag = function

@@ -33,6 +33,11 @@ type finding_kind =
       (** prefix-closure broken where Corollary 2 applies: on a
           unique-writes history, a later prefix is accepted after an
           independently confirmed violating prefix *)
+  | Containment_violation
+      (** the criterion lattice broken: a history (or boundary prefix)
+          judged du-opaque but not last-use-opaque — du-opaque ⇒
+          last-use-opaque is a theorem of the optional-visibility
+          rendering, so this always convicts a checker *)
   | Crash  (** a checker path raised *)
 
 type finding = {
@@ -88,7 +93,14 @@ val lockstep :
       is a [Prefix_violation] on unique-writes histories and a benign
       [closure_gap] otherwise;
     - optionally [submit] — a loopback [tm serve] round-trip — on the final
-      verdict.
+      verdict;
+    - the last-use-opacity legs: batch {!Tm_checker.Last_use_opacity.check}
+      (certificate validated under claim [Last_use]) against its
+      per-boundary incremental twin — exact per prefix, never sticky,
+      since the criterion is not prefix-closed — plus the containment
+      theorem du-opaque ⇒ last-use-opaque as an executable cross-criterion
+      invariant, on the full history and per decided boundary
+      ([Containment_violation] when it fails).
 
     The empty finding list means all paths agree everywhere.  [submit]
     exceptions are classified as [Crash] on the [serve] path. *)
@@ -98,8 +110,11 @@ val lockstep :
 type source = [ `Gen | `Stm of string | `Faults of string ]
 
 val default_sources : source list
-(** [`Gen], recorded tl2/norec/pessimistic executions, and fault-injected
-    tl2/norec campaigns. *)
+(** [`Gen], recorded tl2/norec/pessimistic/early-release/partial-abort
+    executions, and fault-injected tl2/norec/early-release campaigns.
+    The early-release runs routinely separate the criteria (du-violation,
+    last-use-opaque), exercising the containment cross-check on the
+    interesting side. *)
 
 val source_tag : source -> string
 val source_of_tag : string -> (source, string) result

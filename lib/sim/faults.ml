@@ -30,6 +30,27 @@ let run_one ?(max_nodes = 2_000_000) ?(check = true) ?retry ~stm ~params ~spec
   let h = r.Runner.history in
   let outcome, monitor =
     if not check then (None, None)
+    else if List.mem stm Tm_stm.Registry.lastuse_safe then begin
+      (* An early-release STM is judged by its own criterion: every prefix
+         must be last-use-opaque.  The criterion is not prefix-closed in
+         general, but each prefix of a recorded history is itself a
+         history the STM could have produced, so per-prefix [Sat] is the
+         campaign invariant — judged standalone by the incremental
+         checker rather than a sticky monitor. *)
+      let ctx = Tm_checker.Last_use_opacity.incremental () in
+      let n = History.length h in
+      let rec judge i =
+        if i > n then `Ok
+        else
+          let p = History.prefix h i in
+          match Tm_checker.Last_use_opacity.check_inc ~max_nodes ctx p with
+          | Tm_checker.Last_use_opacity.Sat _, _ -> judge (i + 1)
+          | Tm_checker.Last_use_opacity.Unsat why, _ ->
+              `Violation (Fmt.str "prefix %d: %s (last-use)" i why)
+          | Tm_checker.Last_use_opacity.Ambiguous why, _ -> `Budget why
+      in
+      (Some (judge 0), None)
+    end
     else
       (* The monitor replays the history event by event, so an [`Ok] is a
          du-opacity verdict for the history AND every one of its prefixes —

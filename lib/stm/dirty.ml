@@ -24,6 +24,7 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
     | None -> M.get txn.Base.tm.Base.data.(x) (* no validation at all *)
 
   let write = Base.write
+  let release = Base.release
   let commit = Base.commit
   let abort = Base.abort
 end

@@ -24,6 +24,7 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
     txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
     M.set txn.tm.data.(x) v
 
+  let release _txn _x = ()
   let commit _txn = true
 
   let abort txn =

@@ -1,0 +1,345 @@
+(** NOrec with early release: a deferred-update STM that deliberately
+    publishes a buffered write {e before} commit, once the program declares
+    the write is its last to that variable ({!Tm_intf.TM.release}).
+
+    The base protocol is {!Norec}: one global sequence lock, value-based
+    revalidation.  On top of it, [release t x] acquires the sequence lock
+    and stores the buffered value into [data.(x)] while the transaction is
+    still live, flagging [rel.(x)].  Other transactions can now read the
+    value with a plain NOrec read; the variable stays owned until the
+    releasing transaction resolves — commit clears the flag and keeps the
+    value, abort restores the saved undo value — both under the sequence
+    lock, so a snapshot check never observes a half-done transition.
+
+    At most one transaction holds live released variables at a time (the
+    [reltoken]; a release attempt while another holder is live just keeps
+    the write buffered).  This is not an optimisation but a safety
+    requirement of the criterion itself: two live transactions reading
+    {e each other's} released values admit no serialization — whichever
+    comes first must still precede its own supplier — and retried
+    incarnations of the partner rebuild one side of that cycle under
+    real-time constraints that rule every candidate writer out.  With a
+    single live releaser, a released value always flows from the token
+    holder to transactions serialized after it, and the holder's own reads
+    come from committed state, so supplier-before-reader edges can never
+    close a cycle.  (The failing trace is kept as a fixture in the
+    last-use test suite.)
+
+    Safety obligations, and how each is met:
+
+    - {b no lost updates}: while [rel.(x)] is set, no other transaction
+      may commit a write to [x] (commit checks the flag under the lock and
+      aborts itself) and no other transaction may release [x] — so the
+      undo-restore on abort can never clobber a foreign write.
+    - {b no committed dirty reads}: committing requires every read-set
+      variable to be unreleased {e and} value-valid at one instant — for
+      writers inside the commit critical section, for read-only
+      transactions in a revalidate-then-recheck-the-lock window.  A
+      transaction whose releaser is still live aborts (the harness
+      retries it); one whose releaser aborted fails revalidation (the
+      rollback changed the value back), cascading the abort.  Committed
+      transactions therefore only ever read from committed ones.
+    - {b no self-invalidation}: revalidation and the commit-time checks
+      skip variables this transaction released itself (it changed them on
+      purpose, and the flag keeps everyone else from committing to them).
+
+    The reader side enforces the matching {e epoch discipline}: a released
+    value may be adopted only into an empty read set, after which the
+    reader is pinned to the holder's epoch — further reads must come from
+    that same epoch (or wait for the holder to resolve) or the attempt
+    aborts.  Mixing a released value with clean reads in either order is
+    refused because the holder's not-yet-published write set can commit
+    over the clean value, which again yields a history no serialization
+    explains.  Apart from that one flag probe, the read path is NOrec's,
+    and reads track no other dependency state — the schedule space stays
+    small enough for exhaustive DPOR enumeration ([tm verify]).
+
+    The histories this produces are the whole point: a reader may return a
+    value whose writer had executed its closing write but not yet
+    committed.  Such a history is {e not} du-opaque — the writer had not
+    invoked [tryC] when the read responded, so Definition 3's
+    local-serialization clause has nothing to justify the value — but it
+    {e is} last-use-opaque, the read being covered by the closed-writer
+    clause.  See {!Tm_checker.Last_use_opacity} and the [stm-safety]
+    experiment's criterion-separation table. *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = {
+    glock : int M.cell;
+    data : int M.cell array;
+    rel : int M.cell array;  (* 1 = released by a live transaction *)
+    reltoken : int M.cell;  (* 1 = some live transaction holds releases *)
+  }
+
+  type txn = {
+    tm : t;
+    mutable snapshot : int;
+    mutable rset : (int * int) list;  (* variable, value seen *)
+    wset : (int, int) Hashtbl.t;
+    released : (int, int) Hashtbl.t;  (* variable -> undo value *)
+    mutable tainted : int option;
+        (* a released variable this transaction read while its releaser
+           may still be live — pins the reader to that epoch *)
+    mutable doomed : bool;
+  }
+
+  let name = "early-release"
+
+  let create ~n_vars =
+    {
+      glock = M.make 0;
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+      rel = Array.init n_vars (fun _ -> M.make 0);
+      reltoken = M.make 0;
+    }
+
+  let rec wait_even tm =
+    let l = M.get tm.glock in
+    if l land 1 = 0 then l
+    else begin
+      M.pause ();
+      wait_even tm
+    end
+
+  let begin_txn tm =
+    {
+      tm;
+      snapshot = wait_even tm;
+      rset = [];
+      wset = Hashtbl.create 8;
+      released = Hashtbl.create 4;
+      tainted = None;
+      doomed = false;
+    }
+
+  (* Value-based revalidation, as NOrec — except entries for variables this
+     transaction released are skipped: it rewrote those itself, and the
+     release flag keeps everyone else from committing to them. *)
+  let rec validate txn =
+    let time = wait_even txn.tm in
+    let unchanged =
+      List.for_all
+        (fun (x, v) ->
+          Hashtbl.mem txn.released x || M.get txn.tm.data.(x) = v)
+        txn.rset
+    in
+    if not unchanged then raise Tm_intf.Abort
+    else if M.get txn.tm.glock <> time then begin
+      M.pause ();
+      validate txn
+    end
+    else time
+
+  (* Epoch discipline for released values (the single live releaser's
+     variables, [rel] set).  A released value may be adopted only with an
+     empty read set, and once adopted the reader is pinned to that epoch:
+     it may keep reading the holder's other released variables, but a
+     clean variable while the holder is still live means mixing epochs —
+     the holder's unpublished write set could commit over it — so the
+     reader aborts instead.  Conversely a reader that already holds clean
+     values refuses a released one: the holder may later commit a write
+     over something already read.  Both refusals kill exactly the
+     histories last-use opacity has no serialization for. *)
+  let rec read txn x =
+    match Hashtbl.find_opt txn.wset x with
+    | Some v -> v
+    | None ->
+        let tm = txn.tm in
+        let v = M.get tm.data.(x) in
+        if M.get tm.glock <> txn.snapshot then begin
+          txn.snapshot <- validate txn;
+          read txn x
+        end
+        else begin
+          (* Load every flag the decision depends on, then re-check the
+             sequence lock: release, commit and rollback all bump it from
+             inside their critical sections, so an unmoved lock proves the
+             value and flag loads saw one consistent state.  Without the
+             re-check a commit can slip wholly between the first lock check
+             and the flag loads — the flags then say "holder resolved"
+             while [v] predates the holder's writes, and value-based
+             revalidation cannot tell (the released value and the committed
+             value are the same number). *)
+          let r = M.get tm.rel.(x) in
+          let pinned_live =
+            match txn.tainted with
+            | Some x0 -> M.get tm.rel.(x0) = 1
+            | None -> false
+          in
+          if M.get tm.glock <> txn.snapshot then begin
+            txn.snapshot <- validate txn;
+            read txn x
+          end
+          else if r = 1 then
+            if txn.tainted <> None || txn.rset = [] then begin
+              if txn.tainted = None then txn.tainted <- Some x;
+              txn.rset <- (x, v) :: txn.rset;
+              v
+            end
+            else raise Tm_intf.Abort
+          else begin
+            if pinned_live then raise Tm_intf.Abort
+            else
+              (* the epoch's holder resolved (an abort would have failed
+                 revalidation by now) — unpin *)
+              txn.tainted <- None;
+            txn.rset <- (x, v) :: txn.rset;
+            v
+          end
+        end
+
+  let write txn x v =
+    (* The harness only releases after a variable's statically-last write,
+       so a write after [release] signals a broken caller: doom the
+       transaction rather than publish conflicting values. *)
+    if Hashtbl.mem txn.released x then txn.doomed <- true
+    else Hashtbl.replace txn.wset x v
+
+  let release txn x =
+    match Hashtbl.find_opt txn.wset x with
+    | None -> ()
+    | Some _ when txn.doomed || Hashtbl.mem txn.released x -> ()
+    | Some v -> (
+        let tm = txn.tm in
+        match
+          let rec lock () =
+            if M.cas tm.glock txn.snapshot (txn.snapshot + 1) then ()
+            else begin
+              txn.snapshot <- validate txn;
+              lock ()
+            end
+          in
+          lock ()
+        with
+        | exception Tm_intf.Abort -> txn.doomed <- true
+        | () ->
+            (* Publish only when this transaction is (or can become) the
+               single live releaser; otherwise drop the hint — releasing is
+               optional, the write just stays buffered until commit. *)
+            let holder = Hashtbl.length txn.released > 0 in
+            if (holder || M.get tm.reltoken = 0) && M.get tm.rel.(x) = 0
+            then begin
+              if not holder then M.set tm.reltoken 1;
+              Hashtbl.replace txn.released x (M.get tm.data.(x));
+              M.set tm.data.(x) v;
+              ignore (M.cas tm.rel.(x) 0 1 : bool)
+            end;
+            M.set tm.glock (txn.snapshot + 2);
+            txn.snapshot <- txn.snapshot + 2)
+
+  (* A read-set variable is admissible at commit iff it is ours or not
+     currently released: a set flag means the writer is still live (its
+     value is not yet committed), so the reader must step aside. *)
+  let unreleased txn (x, _) =
+    Hashtbl.mem txn.released x || M.get txn.tm.rel.(x) = 0
+
+  (* Restore every released variable's undo value and surrender the flags,
+     under a fresh critical section.  Used on any abort path. *)
+  let rollback txn =
+    if Hashtbl.length txn.released > 0 then begin
+      let tm = txn.tm in
+      let rec lock () =
+        let l = wait_even tm in
+        if M.cas tm.glock l (l + 1) then l
+        else begin
+          M.pause ();
+          lock ()
+        end
+      in
+      let l = lock () in
+      Hashtbl.iter
+        (fun x undo ->
+          M.set tm.data.(x) undo;
+          ignore (M.cas tm.rel.(x) 1 0 : bool))
+        txn.released;
+      M.set tm.reltoken 0;
+      M.set tm.glock (l + 2);
+      Hashtbl.reset txn.released
+    end
+
+  let commit txn =
+    let tm = txn.tm in
+    if txn.doomed then begin
+      rollback txn;
+      false
+    end
+    else if Hashtbl.length txn.wset = 0 then begin
+      if txn.rset = [] then true
+      else begin
+        (* Read-only: unlike NOrec we must revalidate — a released value
+           passes the snapshot checks but may never commit.  Values and
+           release flags are checked at one instant: revalidate to a
+           stable time, read the flags, and confirm the sequence lock has
+           not moved (every release, commit or rollback bumps it). *)
+        match
+          let rec settle () =
+            let time = validate txn in
+            if not (List.for_all (unreleased txn) txn.rset) then
+              raise Tm_intf.Abort
+            else if M.get tm.glock <> time then begin
+              M.pause ();
+              settle ()
+            end
+          in
+          settle ()
+        with
+        | () -> true
+        | exception Tm_intf.Abort -> false
+      end
+    end
+    else begin
+      match
+        let rec lock () =
+          if M.cas tm.glock txn.snapshot (txn.snapshot + 1) then ()
+          else begin
+            txn.snapshot <- validate txn;
+            lock ()
+          end
+        in
+        lock ()
+      with
+      | exception Tm_intf.Abort ->
+          rollback txn;
+          false
+      | () ->
+          let owned x =
+            Hashtbl.mem txn.released x || M.get tm.rel.(x) = 0
+          in
+          if
+            Hashtbl.fold (fun x _ ok -> ok && owned x) txn.wset true
+            && List.for_all
+                 (fun (x, _ as r) -> Hashtbl.mem txn.wset x || unreleased txn r)
+                 txn.rset
+          then begin
+            Hashtbl.iter (fun x v -> M.set tm.data.(x) v) txn.wset;
+            if Hashtbl.length txn.released > 0 then begin
+              Hashtbl.iter
+                (fun x _ -> ignore (M.cas tm.rel.(x) 1 0 : bool))
+                txn.released;
+              M.set tm.reltoken 0;
+              Hashtbl.reset txn.released
+            end;
+            M.set tm.glock (txn.snapshot + 2);
+            true
+          end
+          else begin
+            (* A variable we read or want to write is released by a live
+               transaction: its abort would invalidate us, so step aside
+               (restoring our own released variables under this same
+               critical section). *)
+            if Hashtbl.length txn.released > 0 then begin
+              Hashtbl.iter
+                (fun x undo ->
+                  M.set tm.data.(x) undo;
+                  ignore (M.cas tm.rel.(x) 1 0 : bool))
+                txn.released;
+              M.set tm.reltoken 0;
+              Hashtbl.reset txn.released
+            end;
+            M.set tm.glock (txn.snapshot + 2);
+            false
+          end
+    end
+
+  let abort txn = rollback txn
+end

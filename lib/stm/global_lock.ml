@@ -34,6 +34,8 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
     txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
     M.set txn.tm.data.(x) v
 
+  let release _txn _x = ()
+
   let commit txn =
     M.set txn.tm.big_lock 0;
     true

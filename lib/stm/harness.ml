@@ -53,6 +53,20 @@ exception Halted
 (* One attempt; true = committed. *)
 let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~faults ~thread ~id
     prog =
+  (* Statically-last write of each variable in the program: after its
+     response, the variable's closing write has happened, so the TM may be
+     told it will not be written again ({!Tm_intf.TM.release}).  Most TMs
+     ignore the hint; the early-release TM publishes the value. *)
+  let last_write =
+    let tbl = Hashtbl.create 4 in
+    List.iteri
+      (fun i op ->
+        match op with
+        | Workload.Write (x, _) -> Hashtbl.replace tbl x i
+        | Workload.Read _ -> ())
+      prog;
+    tbl
+  in
   let txn = I.begin_txn () in
   (* Release the instance's resources without recording anything.  [abort]
      never raises per the interface, but the controls are deliberately
@@ -76,8 +90,8 @@ let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~faults ~thread ~id
     stats.spurious_aborts <- stats.spurious_aborts + 1
   in
   match
-    List.iter
-      (fun op ->
+    List.iteri
+      (fun op_index op ->
         let inv =
           match op with
           | Workload.Read x -> Event.Read x
@@ -101,13 +115,24 @@ let run_attempt (module I : Tm_intf.INSTANCE) ~emit ~stats ~faults ~thread ~id
         | Workload.Write (x, v) -> (
             emit (Event.Inv (id, Event.Write (x, v)));
             match I.write txn x v with
-            | () -> emit (Event.Res (id, Event.Write_ok))
+            | () ->
+                emit (Event.Res (id, Event.Write_ok));
+                (* The hint comes after the response: the closing write has
+                   responded before anything released can be read.  Not a
+                   t-operation — nothing is recorded. *)
+                if Hashtbl.find_opt last_write x = Some op_index then
+                  I.release txn x
             | exception Tm_intf.Abort ->
                 emit (Event.Res (id, Event.Aborted));
                 raise Tm_intf.Abort))
       prog
   with
   | exception Tm_intf.Abort ->
+      (* The operation aborted the transaction: release its resources.  A
+         no-op for most algorithms, but an early-release holder must
+         restore its published variables or every later transaction
+         touching them wedges. *)
+      reclaim ();
       stats.op_aborts <- stats.op_aborts + 1;
       false
   | () -> (

@@ -57,6 +57,7 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
         visible versions
 
   let write txn x v = Hashtbl.replace txn.wset x v
+  let release _txn _x = ()
 
   let newest_ts versions =
     match versions with (ts, _) :: _ -> ts | [] -> 0

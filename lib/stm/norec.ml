@@ -67,6 +67,7 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
         end
 
   let write txn x v = Hashtbl.replace txn.wset x v
+  let release _txn _x = ()
 
   let commit txn =
     if Hashtbl.length txn.wset = 0 then true

@@ -1,0 +1,139 @@
+(** Checkpointing partial-abort STM, after Manticore's bounded hybrid
+    partial-abort design (see SNIPPETS.md): every read carries an abort
+    continuation, and a conflict detected {e at} a read rolls back to that
+    read instead of restarting the transaction.
+
+    Our harness emits each operation's response to the history the moment
+    it returns, so a checkpoint can only ever repair the read currently
+    executing — earlier reads are already on the record.  That collapses
+    the continuation machinery to its observable core:
+
+    - a conflict at the current read (the global clock moved since the
+      snapshot) triggers a {e partial abort}: if every previously answered
+      read still holds its value, the transaction silently adopts the new
+      snapshot and re-executes just this read — no abort event, no retry;
+    - if some answered read is stale, the transaction takes a {e full
+      abort} (raises {!Tm_intf.Abort}) since its history already contains
+      an unjustifiable value.
+
+    The READ_SET_BOUND of the original is kept: only the first
+    [read_set_bound] reads retain repair capability.  Once the read set
+    grows past the bound, conflicts stop being repairable and force a full
+    abort (the continuation would have been dropped by the bounded
+    filter).  The partial/full/filtered counters live in shared cells,
+    bumped with [fetch_add] so the deterministic simulator sees them as
+    ordinary memory traffic.
+
+    Every answered read is validated against a single consistent snapshot
+    before commit, exactly as in {!Norec} — the histories are du-opaque
+    (and hence last-use-opaque; the containment property tests use this
+    source on the "safe" side). *)
+
+module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
+  type t = {
+    glock : int M.cell;
+    data : int M.cell array;
+    partial_aborts : int M.cell;
+    full_aborts : int M.cell;
+    filtered : int M.cell;  (* conflicts a dropped checkpoint couldn't fix *)
+  }
+
+  type txn = {
+    tm : t;
+    mutable snapshot : int;
+    mutable rset : (int * int) list;  (* variable, value seen *)
+    mutable nreads : int;
+    wset : (int, int) Hashtbl.t;
+  }
+
+  let name = "partial-abort"
+  let read_set_bound = 6
+
+  let create ~n_vars =
+    {
+      glock = M.make 0;
+      data = Array.init n_vars (fun _ -> M.make Event.init_value);
+      partial_aborts = M.make 0;
+      full_aborts = M.make 0;
+      filtered = M.make 0;
+    }
+
+  let rec wait_even tm =
+    let l = M.get tm.glock in
+    if l land 1 = 0 then l
+    else begin
+      M.pause ();
+      wait_even tm
+    end
+
+  let begin_txn tm =
+    { tm; snapshot = wait_even tm; rset = []; nreads = 0; wset = Hashtbl.create 8 }
+
+  (* Attempt the partial abort: succeed with a fresh stable snapshot iff
+     every answered read still holds.  A stale answered read, or a read
+     set past the checkpoint bound, forces the full abort. *)
+  let rec repair txn =
+    let tm = txn.tm in
+    if txn.nreads > read_set_bound then begin
+      ignore (M.fetch_add tm.filtered 1 : int);
+      ignore (M.fetch_add tm.full_aborts 1 : int);
+      raise Tm_intf.Abort
+    end;
+    let time = wait_even tm in
+    let unchanged =
+      List.for_all (fun (x, v) -> M.get tm.data.(x) = v) txn.rset
+    in
+    if not unchanged then begin
+      ignore (M.fetch_add tm.full_aborts 1 : int);
+      raise Tm_intf.Abort
+    end
+    else if M.get tm.glock <> time then begin
+      M.pause ();
+      repair txn
+    end
+    else begin
+      ignore (M.fetch_add tm.partial_aborts 1 : int);
+      time
+    end
+
+  let rec read txn x =
+    match Hashtbl.find_opt txn.wset x with
+    | Some v -> v
+    | None ->
+        let v = M.get txn.tm.data.(x) in
+        if M.get txn.tm.glock = txn.snapshot then begin
+          txn.rset <- (x, v) :: txn.rset;
+          txn.nreads <- txn.nreads + 1;
+          v
+        end
+        else begin
+          txn.snapshot <- repair txn;
+          read txn x
+        end
+
+  let write txn x v = Hashtbl.replace txn.wset x v
+  let release _txn _x = ()
+
+  let commit txn =
+    if Hashtbl.length txn.wset = 0 then true
+    else begin
+      let tm = txn.tm in
+      match
+        let rec lock () =
+          if M.cas tm.glock txn.snapshot (txn.snapshot + 1) then ()
+          else begin
+            txn.snapshot <- repair txn;
+            lock ()
+          end
+        in
+        lock ()
+      with
+      | () ->
+          Hashtbl.iter (fun x v -> M.set tm.data.(x) v) txn.wset;
+          M.set tm.glock (txn.snapshot + 2);
+          true
+      | exception Tm_intf.Abort -> false
+    end
+
+  let abort _txn = ()
+end

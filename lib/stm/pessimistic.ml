@@ -44,6 +44,8 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
     txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
     M.set txn.tm.data.(x) v
 
+  let release _txn _x = ()
+
   let commit txn =
     if txn.writer then M.set txn.tm.wlock 0;
     true (* never aborts *)

@@ -2,7 +2,10 @@
 
     [safe] algorithms are expected to produce only du-opaque histories;
     [controls] are deliberately broken and expected to be caught by the
-    checkers — the split drives the [stm-safety] experiment. *)
+    checkers; [lastuse_safe] sit exactly between — every history is
+    last-use-opaque but du-opacity may fail (that separation is the point
+    of the early-release design).  The three-way split drives the
+    [stm-safety] experiment and its criterion-separation table. *)
 
 let algorithms : (string * (module Tm_intf.ALGORITHM)) list =
   [
@@ -12,12 +15,17 @@ let algorithms : (string * (module Tm_intf.ALGORITHM)) list =
     ("tml", (module Tml.Make));
     ("2pl", (module Twopl.Make));
     ("global-lock", (module Global_lock.Make));
+    ("partial-abort", (module Partial_abort.Make));
+    ("early-release", (module Early_release.Make));
     ("pessimistic", (module Pessimistic.Make));
     ("dirty-read", (module Dirty.Make));
     ("eager", (module Eager.Make));
   ]
 
-let safe = [ "tl2"; "norec"; "mvcc"; "tml"; "2pl"; "global-lock" ]
+let safe =
+  [ "tl2"; "norec"; "mvcc"; "tml"; "2pl"; "global-lock"; "partial-abort" ]
+
+let lastuse_safe = [ "early-release" ]
 let controls = [ "pessimistic"; "dirty-read"; "eager" ]
 
 let find name = List.assoc_opt name algorithms

@@ -57,10 +57,10 @@ module Make (M : Mem_intf.MEM) = struct
         end
 
   let write txn x v = Hashtbl.replace txn.wset x v
-
+  let release _txn _x = () (* last-use hints are early-release territory *)
   let max_spin = 64
 
-  let release tm vars =
+  let unlock tm vars =
     List.iter
       (fun x ->
         let l = M.get tm.locks.(x) in
@@ -89,7 +89,7 @@ module Make (M : Mem_intf.MEM) = struct
             in
             if try_lock max_spin then acquire (x :: acquired) rest
             else begin
-              release tm acquired;
+              unlock tm acquired;
               None
             end
       in
@@ -103,7 +103,7 @@ module Make (M : Mem_intf.MEM) = struct
             else (not (locked l)) && version l <= txn.rv
           in
           if wv <> txn.rv + 1 && not (List.for_all read_valid txn.rset) then begin
-            release tm acquired;
+            unlock tm acquired;
             false
           end
           else begin

@@ -29,12 +29,23 @@ module type TM = sig
   val write : txn -> int -> int -> unit
   (** @raise Abort likewise. *)
 
+  val release : txn -> int -> unit
+  (** Last-use hint: the program declares it will never write this
+      variable again (its statically-last write has executed).  Most
+      algorithms ignore it; an early-release TM may publish the buffered
+      value so other transactions can read it before [commit].  Never
+      raises — a release that cannot proceed is dropped or dooms the
+      transaction internally (its [commit] then returns [false]).  The
+      harness calls it after the response of the closing write; it is not
+      a t-operation and appears in no history. *)
+
   val commit : txn -> bool
   (** [tryC]: [true] = committed, [false] = aborted.  Either way the
       transaction is finished and its resources released. *)
 
   val abort : txn -> unit
-  (** [tryA]: always succeeds; releases resources, undoes eager writes. *)
+  (** [tryA]: always succeeds; releases resources, undoes eager writes
+      (and takes back any early-released value). *)
 end
 
 (** An STM algorithm: a [TM] for any memory. *)
@@ -49,6 +60,7 @@ module type INSTANCE = sig
   val begin_txn : unit -> txn
   val read : txn -> int -> int
   val write : txn -> int -> int -> unit
+  val release : txn -> int -> unit
   val commit : txn -> bool
   val abort : txn -> unit
 end
@@ -62,6 +74,7 @@ let instantiate (module T : TM) ~n_vars : (module INSTANCE) =
     let begin_txn () = T.begin_txn state
     let read = T.read
     let write = T.write
+    let release = T.release
     let commit = T.commit
     let abort = T.abort
   end)

@@ -38,14 +38,14 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
 
   let begin_txn tm = { tm; stamp = M.fetch_add tm.ts 1; held = []; undo = [] }
 
-  let release txn =
+  let unlock txn =
     List.iter (fun x -> M.set txn.tm.locks.(x) 0) txn.held;
     txn.held <- []
 
   let rollback txn =
     List.iter (fun (x, v) -> M.set txn.tm.data.(x) v) txn.undo;
     txn.undo <- [];
-    release txn
+    unlock txn
 
   let rec acquire txn x =
     if List.mem x txn.held then ()
@@ -76,8 +76,10 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
     txn.undo <- (x, M.get txn.tm.data.(x)) :: txn.undo;
     M.set txn.tm.data.(x) v
 
+  let release _txn _x = () (* strictness forbids releasing before the end *)
+
   let commit txn =
-    release txn;
+    unlock txn;
     true
 
   let abort txn = rollback txn

@@ -113,6 +113,7 @@ let verify_cfg ?(seed = 1) ?(naive = 0) () =
     seed;
     max_runs = 200_000;
     naive_max_runs = naive;
+    max_retries = 4;
     max_nodes = 1_000_000;
   }
 
@@ -162,6 +163,7 @@ let test_verdict_agreement =
           seed;
           max_runs = 50_000;
           naive_max_runs = 5_000;
+          max_retries = 4;
           max_nodes = 200_000;
         }
       in

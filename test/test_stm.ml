@@ -149,13 +149,13 @@ let test_parallel_recorded stm () =
       | Verdict.Unknown why -> Alcotest.failf "%s (domains): %s" stm why)
 
 let test_registry () =
-  Alcotest.(check int) "9 algorithms" 9 (List.length Stm.Registry.algorithms);
+  Alcotest.(check int) "11 algorithms" 11 (List.length Stm.Registry.algorithms);
   List.iter
     (fun name ->
       match Stm.Registry.find name with
       | Some _ -> ()
       | None -> Alcotest.failf "missing %s" name)
-    (Stm.Registry.safe @ Stm.Registry.controls);
+    (Stm.Registry.safe @ Stm.Registry.lastuse_safe @ Stm.Registry.controls);
   Alcotest.(check bool) "unknown" true (Stm.Registry.find "nope" = None)
 
 let test_unique_workload_polygraph () =
