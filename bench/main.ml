@@ -643,7 +643,10 @@ let bench_monitor () =
 let opt_service_duration = ref 3.0
 let opt_service_sessions = ref 4
 let opt_service_domains = ref 4
+let opt_service_shards = ref 1
 let opt_service_socket : string option ref = ref None
+let opt_service_open_sessions = ref 2_000
+let opt_service_burst = ref 64
 
 type service_stream = {
   ss_name : string;
@@ -808,6 +811,177 @@ let bench_service_overload () =
     ov_latencies = List.sort compare !latencies |> Array.of_list;
   }
 
+(* --- open-loop phase: Zipfian session bursts on a fixed schedule ----------- *)
+
+(* The closed-loop workers above send as fast as the server answers, so an
+   overloaded server just slows its own load down and the measured
+   latencies hide queueing.  The open-loop generator decouples arrivals
+   from completions: sessions arrive in bursts on a fixed schedule whether
+   or not the server has kept up, and each session's latency is measured
+   from its *scheduled* arrival to its final verdict — so queueing delay
+   (including coordinated omission) lands in the p50/p99 columns, exactly
+   what a saturated front-end would observe.  Concurrency is bounded by a
+   fixed connection pool (a wrk2-style compromise; unbounded in-flight
+   sessions would need a thread per session), but late sessions still
+   charge their wait against the schedule.  Streams are recorded from a
+   Zipfian workload (zipf_theta 0.9: a hot location set — the sharded
+   monitor's most skewed routing case). *)
+
+type openloop_result = {
+  ol_sessions : int;
+  ol_events : int;
+  ol_wall : float;
+  ol_burst : int;
+  ol_shards : int;
+  ol_mismatches : int;
+  ol_errors : int;
+  ol_lat : float array;  (* scheduled arrival -> final verdict, sorted, s *)
+}
+
+let zipf_stream ~txns ~seed =
+  let params =
+    {
+      Stm.Workload.default with
+      n_threads = 4;
+      txns_per_thread = (txns + 3) / 4;
+      ops_per_txn = 3;
+      n_vars = 16;
+      zipf_theta = 0.9;
+      (* unique written values: duplicate (var, value) writes poison a
+         shard into benign escalation (Corollary 2), which would turn the
+         sweep into a benchmark of the sequential monitor *)
+      values = `Unique;
+    }
+  in
+  (Sim.Runner.run ~stm:"tl2" ~params ~seed ()).Sim.Runner.history
+
+let bench_service_openloop ~shards ~sessions ~burst =
+  let srv =
+    Service.Server.start
+      (Service.Server.config ~domains:4 ~shards ~queue_capacity:256
+         (`Tcp ("127.0.0.1", 0)))
+  in
+  let addr = Service.Server.bound_addr srv in
+  (* a pool of distinct recorded streams, dealt round-robin to arrivals *)
+  let pool =
+    Array.init 8 (fun i ->
+        service_stream
+          (Fmt.str "zipf/seed%d" (41 + i))
+          (History.to_list (zipf_stream ~txns:48 ~seed:(41 + i))))
+  in
+  let n = max 1 sessions in
+  let burst = max 1 burst in
+  (* bursts spaced so the whole campaign's arrivals span ~2 s of schedule,
+     independent of the session count — more sessions = denser bursts *)
+  let nbursts = (n + burst - 1) / burst in
+  let gap = 2.0 /. float_of_int (max 1 nbursts) in
+  let t0 = Stm.Clock.now () in
+  let arrival i = t0 +. (gap *. float_of_int (i / burst)) in
+  let next = Atomic.make 0 in
+  let mismatches = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let events = Atomic.make 0 in
+  let lat_mutex = Mutex.create () in
+  let latencies = ref [] in
+  let worker _ =
+    let c = Service.Client.connect addr in
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let due = arrival i in
+        let now = Stm.Clock.now () in
+        if now < due then Thread.delay (due -. now);
+        let s = pool.(i mod Array.length pool) in
+        (try
+           Service.Client.open_session c (i + 1);
+           Service.Client.send_events c (i + 1) s.ss_events;
+           let v = Service.Client.close_session c (i + 1) in
+           if v.Service.Protocol.status <> s.ss_expected then
+             Atomic.incr mismatches;
+           ignore (Atomic.fetch_and_add events s.ss_len);
+           let lat = Stm.Clock.now () -. due in
+           Mutex.lock lat_mutex;
+           latencies := lat :: !latencies;
+           Mutex.unlock lat_mutex
+         with _ -> Atomic.incr errors);
+        go ()
+      end
+    in
+    go ();
+    try Service.Client.close c with _ -> ()
+  in
+  let threads = List.init 16 (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  let wall = Stm.Clock.now () -. t0 in
+  Service.Server.stop srv;
+  {
+    ol_sessions = n;
+    ol_events = Atomic.get events;
+    ol_wall = wall;
+    ol_burst = burst;
+    ol_shards = shards;
+    ol_mismatches = Atomic.get mismatches;
+    ol_errors = Atomic.get errors;
+    ol_lat = List.sort compare !latencies |> Array.of_list;
+  }
+
+(* --- shard sweep: one long Zipfian session at --shards 1/2/4/8 ------------- *)
+
+(* Per-session sharding pays off on long streams, not on the small bursty
+   sessions above: one session's events all land on one worker domain, so
+   the sweep drives a single long recorded stream through servers that
+   differ only in --shards and reports sustained events/s plus the
+   certify/stitch counters behind it. *)
+
+type sweep_point = {
+  sp_shards : int;
+  sp_events : int;
+  sp_wall : float;
+  sp_certifies : int;
+  sp_incremental : int;
+  sp_full : int;
+  sp_escalated : string option;
+  sp_parity : bool;
+}
+
+let bench_service_shard_sweep () =
+  let stream =
+    service_stream "zipf/sweep"
+      (History.to_list (zipf_stream ~txns:360 ~seed:77))
+  in
+  List.map
+    (fun shards ->
+      let srv =
+        Service.Server.start
+          (Service.Server.config ~domains:1 ~shards ~queue_capacity:256
+             (`Tcp ("127.0.0.1", 0)))
+      in
+      let addr = Service.Server.bound_addr srv in
+      let c = Service.Client.connect addr in
+      Service.Client.open_session c 1;
+      let t0 = Stm.Clock.now () in
+      Service.Client.send_events c 1 stream.ss_events;
+      (* the checkpoint round-trip bounds the measurement at "all events
+         pushed and certified", not "all bytes written to the socket" *)
+      ignore (Service.Client.checkpoint c 1);
+      let wall = Stm.Clock.now () -. t0 in
+      let st = Service.Client.shard_stats c 1 in
+      let v = Service.Client.close_session c 1 in
+      let parity = v.Service.Protocol.status = stream.ss_expected in
+      Service.Client.close c;
+      Service.Server.stop srv;
+      {
+        sp_shards = shards;
+        sp_events = stream.ss_len;
+        sp_wall = wall;
+        sp_certifies = st.Service.Protocol.certifies;
+        sp_incremental = st.Service.Protocol.incremental;
+        sp_full = st.Service.Protocol.full;
+        sp_escalated = st.Service.Protocol.escalated;
+        sp_parity = parity;
+      })
+    [ 1; 2; 4; 8 ]
+
 (* --- recovery phase: crash, restart, resume -------------------------------- *)
 
 (* How long a client is actually locked out when the server process dies:
@@ -909,7 +1083,8 @@ let bench_service_recovery () =
   let r4 = one ~txns:480 ~seed:32 ~snapshot:false in
   [ r1; r2; r3; r4 ]
 
-let service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery =
+let service_json ~endpoint ~wall ~sessions workers stats ~overload ~openloop
+    ~sweep ~recovery =
   let events = List.fold_left (fun a w -> a + w.sw_events) 0 workers in
   let replays = List.fold_left (fun a w -> a + w.sw_replays) 0 workers in
   let mismatches =
@@ -944,6 +1119,32 @@ let service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery =
       {|   {"events": %d, "journal_replay_events": %d, "recovery_ms": %.3f, "verdict_parity": %b}|}
       r.rc_events r.rc_tail r.rc_recovery_ms r.rc_parity
   in
+  let openloop_json o =
+    Fmt.str
+      {|{"sessions": %d, "burst": %d, "shards": %d, "events": %d,
+   "duration_s": %.3f, "events_per_s": %.1f,
+   "session_latency_ms": {"p50": %.3f, "p99": %.3f, "samples": %d},
+   "verdict_mismatches": %d, "errors": %d}|}
+      o.ol_sessions o.ol_burst o.ol_shards o.ol_events o.ol_wall
+      (if o.ol_wall <= 0. then 0. else float_of_int o.ol_events /. o.ol_wall)
+      (percentile o.ol_lat 50. *. 1e3)
+      (percentile o.ol_lat 99. *. 1e3)
+      (Array.length o.ol_lat) o.ol_mismatches o.ol_errors
+  in
+  let sweep_json p =
+    Fmt.str
+      {|   {"shards": %d, "events": %d, "duration_s": %.3f, "events_per_s": %.1f,
+    "certifies": %d, "incremental": %d, "full": %d, "escalated": %s,
+    "verdict_parity": %b}|}
+      p.sp_shards p.sp_events p.sp_wall
+      (if p.sp_wall <= 0. then 0.
+       else float_of_int p.sp_events /. p.sp_wall)
+      p.sp_certifies p.sp_incremental p.sp_full
+      (match p.sp_escalated with
+      | None -> "null"
+      | Some why -> Fmt.str "%S" why)
+      p.sp_parity
+  in
   Fmt.pr
     {|{"benchmark": "service", "unit": "events_per_s",
  "endpoint": %S, "duration_s": %.3f, "sessions": %d, "domains": %d,
@@ -954,6 +1155,10 @@ let service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery =
 %s
  ],
  "overload": %s,
+ "open_loop": %s,
+ "shard_sweep": [
+%s
+ ],
  "recovery": [
 %s
  ]}@.|}
@@ -964,6 +1169,8 @@ let service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery =
     (Array.length lat) mismatches
     (String.concat ",\n" (List.map domain_json stats))
     (overload_json overload)
+    (openloop_json openloop)
+    (String.concat ",\n" (List.map sweep_json sweep))
     (String.concat ",\n" (List.map recovery_json recovery))
 
 let bench_service () =
@@ -974,6 +1181,7 @@ let bench_service () =
     | None ->
         let cfg =
           Service.Server.config ~domains:!opt_service_domains
+            ~shards:!opt_service_shards
             (`Tcp ("127.0.0.1", 0))
         in
         let srv = Service.Server.start cfg in
@@ -1017,9 +1225,15 @@ let bench_service () =
       | None -> ())
     workers;
   let overload = bench_service_overload () in
+  let openloop =
+    bench_service_openloop ~shards:!opt_service_shards
+      ~sessions:!opt_service_open_sessions ~burst:!opt_service_burst
+  in
+  let sweep = bench_service_shard_sweep () in
   let recovery = bench_service_recovery () in
   if !json_mode then
-    service_json ~endpoint ~wall ~sessions workers stats ~overload ~recovery
+    service_json ~endpoint ~wall ~sessions workers stats ~overload ~openloop
+      ~sweep ~recovery
   else begin
     section_header
       (Fmt.str
@@ -1076,6 +1290,32 @@ let bench_service () =
       overload.ov_sheds overload.ov_mismatches
       (percentile overload.ov_latencies 50. *. 1e3)
       (percentile overload.ov_latencies 99. *. 1e3);
+    Fmt.pr
+      "  open-loop (%d zipfian sessions, bursts of %d, %d shards): %d \
+       events in %.2fs = %.0f events/s; session latency p50 %.3fms p99 \
+       %.3fms; %d mismatches, %d errors@."
+      openloop.ol_sessions openloop.ol_burst openloop.ol_shards
+      openloop.ol_events openloop.ol_wall
+      (if openloop.ol_wall <= 0. then 0.
+       else float_of_int openloop.ol_events /. openloop.ol_wall)
+      (percentile openloop.ol_lat 50. *. 1e3)
+      (percentile openloop.ol_lat 99. *. 1e3)
+      openloop.ol_mismatches openloop.ol_errors;
+    Fmt.pr "  shard sweep (one long zipfian session):@.";
+    List.iter
+      (fun p ->
+        Fmt.pr
+          "    --shards %d: %6d events in %.3fs = %8.0f events/s (%d \
+           certifies, %d incremental, %d full%s)  %s@."
+          p.sp_shards p.sp_events p.sp_wall
+          (if p.sp_wall <= 0. then 0.
+           else float_of_int p.sp_events /. p.sp_wall)
+          p.sp_certifies p.sp_incremental p.sp_full
+          (match p.sp_escalated with
+          | None -> ""
+          | Some why -> Fmt.str ", escalated: %s" why)
+          (if p.sp_parity then "verdict parity" else "PARITY LOST"))
+      sweep;
     Fmt.pr "  crash recovery (restart + resume round-trip):@.";
     List.iter
       (fun r ->
@@ -1377,6 +1617,15 @@ let () =
     | "--domains" :: rest ->
         parse (opt_value "--domains" int_of_string
                  (fun v -> opt_service_domains := v) rest)
+    | "--shards" :: rest ->
+        parse (opt_value "--shards" int_of_string
+                 (fun v -> opt_service_shards := v) rest)
+    | "--open-sessions" :: rest ->
+        parse (opt_value "--open-sessions" int_of_string
+                 (fun v -> opt_service_open_sessions := v) rest)
+    | "--burst" :: rest ->
+        parse (opt_value "--burst" int_of_string
+                 (fun v -> opt_service_burst := v) rest)
     | "--socket" :: rest ->
         parse (opt_value "--socket" (fun s -> s)
                  (fun v -> opt_service_socket := Some v) rest)

@@ -817,6 +817,15 @@ let serve_cmd =
     let doc = "Bounded work-queue capacity per domain (backpressure)." in
     Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Monitor shards per session: events are partitioned by location \
+       across $(docv) incremental conflict graphs and stitched into a \
+       global certificate at every batch (two-phase certify/stitch).  \
+       1 = the sequential per-session monitor."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the per-connection event log.")
   in
@@ -868,8 +877,8 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "hwm" ] ~docv:"N" ~doc)
   in
-  let run unix_path tcp domains queue max_nodes quiet journal_dir journal_sync
-      session_timeout heartbeat max_conns max_sessions hwm =
+  let run unix_path tcp domains shards queue max_nodes quiet journal_dir
+      journal_sync session_timeout heartbeat max_conns max_sessions hwm =
     match addr_of ~unix_path ~tcp with
     | Error (`Msg m) ->
         Fmt.epr "tm serve: %s@." m;
@@ -880,9 +889,10 @@ let serve_cmd =
         in
         match
           Service.Server.start
-            (Service.Server.config ~domains ?max_nodes ~queue_capacity:queue
-               ?journal_dir ~journal_sync ~session_timeout ~heartbeat
-               ~max_conns ~max_sessions ?hwm ~log addr)
+            (Service.Server.config ~domains ~shards ?max_nodes
+               ~queue_capacity:queue ?journal_dir ~journal_sync
+               ~session_timeout ~heartbeat ~max_conns ~max_sessions ?hwm ~log
+               addr)
         with
         | exception Unix.Unix_error (e, _, arg) ->
             Fmt.epr "tm serve: cannot listen on %a: %s %s@."
@@ -892,10 +902,12 @@ let serve_cmd =
             Fmt.epr "tm serve: %s@." m;
             3
         | srv ->
-            Fmt.pr "tm serve: listening on %a (%d domains, queue %d%s)@."
+            Fmt.pr "tm serve: listening on %a (%d domains%s, queue %d%s)@."
               Service.Wire.pp_addr
               (Service.Server.bound_addr srv)
-              domains queue
+              domains
+              (if shards > 1 then Fmt.str ", %d monitor shards" shards else "")
+              queue
               (match journal_dir with
               | Some d -> Fmt.str ", durable sessions in %s" d
               | None -> "");
@@ -920,9 +932,10 @@ let serve_cmd =
           across a domain pool; optionally durable, with crash recovery \
           and overload shedding)")
     Term.(
-      const run $ unix_arg $ tcp_arg $ domains_arg $ queue_arg $ max_nodes_arg
-      $ quiet_arg $ journal_arg $ journal_sync_arg $ session_timeout_arg
-      $ heartbeat_arg $ max_conns_arg $ max_sessions_arg $ hwm_arg)
+      const run $ unix_arg $ tcp_arg $ domains_arg $ shards_arg $ queue_arg
+      $ max_nodes_arg $ quiet_arg $ journal_arg $ journal_sync_arg
+      $ session_timeout_arg $ heartbeat_arg $ max_conns_arg $ max_sessions_arg
+      $ hwm_arg)
 
 let submit_cmd =
   let session_arg =

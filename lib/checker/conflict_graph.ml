@@ -25,12 +25,13 @@
      after a heuristic choice answer Ambiguous, never Unsat).
 
    Acyclicity under edge insertion is maintained with the Pearce–Kelly
-   dynamic topological order: an edge already respecting the order is free;
-   otherwise the affected region — forward reachability from the target
-   bounded by the source's position, backward from the source bounded by
-   the target's — is discovered and its order indices reassigned.  Edges
-   live in two index-linked arena pools (out- and in-adjacency), so
-   insertion allocates nothing beyond amortised array growth. *)
+   dynamic topological order, which lives in {!Topo} (shared with the
+   sharded monitor's commit-order arbiter): an edge already respecting the
+   order is free; otherwise the affected region is discovered and its
+   order indices reassigned.  Edges live in index-linked arena pools, so
+   insertion allocates nothing beyond amortised array growth; each edge is
+   tagged with its kind (real-time / reads-from / repair) so the sharded
+   monitor can drain a shard's forced edges into its global stitch. *)
 
 type result =
   | Sat of Serialization.t
@@ -45,26 +46,7 @@ type stats = {
   tainted : bool;
 }
 
-(* Growable array with push/get/set; the workhorse for per-node state and
-   the edge arenas. *)
-module Pvec = struct
-  type 'a t = { mutable a : 'a array; mutable n : int; dummy : 'a }
-
-  let create dummy = { a = Array.make 16 dummy; n = 0; dummy }
-
-  let push v x =
-    if v.n = Array.length v.a then begin
-      let a' = Array.make (2 * v.n) v.dummy in
-      Array.blit v.a 0 a' 0 v.n;
-      v.a <- a'
-    end;
-    v.a.(v.n) <- x;
-    v.n <- v.n + 1
-
-  let get v i = v.a.(i)
-  let set v i x = v.a.(i) <- x
-  let pop v = v.n <- v.n - 1
-end
+module Pvec = Topo.Pvec
 
 (* Dense bitsets over interned variable ids (32 bits per word so shifts
    stay well inside OCaml's 63-bit integers). *)
@@ -93,6 +75,14 @@ module Bitset = struct
 end
 
 module Inc = struct
+  (* Edge kinds, as stored in the Topo arena: real-time and reads-from
+     edges are forced at push time and sound in any larger context that
+     preserves real-time order; repair edges are added at verdict time
+     (forced unless the state is tainted — see [repair]). *)
+  let k_rt = 0
+  let k_rf = 1
+  let k_repair = 2
+
   (* A value-returning external read, as recorded at its response.
      [rd_writer] is the attributed writer node, or -1 for a read of the
      initial value.  Attributions are never rebound — a write that would
@@ -114,8 +104,10 @@ module Inc = struct
     tx_of_node : int Pvec.t;
     var_of_tvar : (Event.tvar, int) Hashtbl.t;
     mutable nvars : int;
+    (* the DSG itself: nodes, kinded edges and the maintained topological
+       order all live in the Pearce–Kelly structure *)
+    topo : Topo.t;
     (* per-node state (parallel vectors, indexed by node) *)
-    ord : int Pvec.t;  (* maintained topological index *)
     first_ev : int Pvec.t;
     completion : int Pvec.t;  (* index of C_k/A_k; -1 while not t-complete *)
     tryc_inv : int Pvec.t;  (* index of the tryC invocation; -1 *)
@@ -135,21 +127,6 @@ module Inc = struct
         (* (var,v) -> (reader node, attributed writer | -1 init | -2 none) *)
     reads : reader Pvec.t;  (* attributed + initial-value reads, in order *)
     writers_of_var : (int, int list ref) Hashtbl.t;  (* committed writers *)
-    (* edge arenas: logical edge e has out-list links (e_dst, e_next) from
-       its source and in-list links (e_src, e_inext) from its target *)
-    out_head : int Pvec.t;
-    in_head : int Pvec.t;
-    e_dst : int Pvec.t;
-    e_next : int Pvec.t;
-    e_src : int Pvec.t;
-    e_inext : int Pvec.t;
-    edge_set : (int * int, unit) Hashtbl.t;
-    (* Pearce–Kelly work areas *)
-    mark : int Pvec.t;
-    mutable stamp : int;
-    dfs_stack : int Pvec.t;
-    dfa : int Pvec.t;  (* affected-region scratch: forward set *)
-    dfb : int Pvec.t;  (* backward set *)
     (* frontier of maximal t-complete transactions (queue over a vector) *)
     frontier : int Pvec.t;
     mutable f_lo : int;
@@ -163,8 +140,10 @@ module Inc = struct
     mutable violation : (int * string) option;
     mutable cycle : int list option;  (* first counterexample cycle (nodes) *)
     mutable taint : bool;
-    mutable reorders : int;
     mutable repairs : int;
+    (* node order validated by the last [verdict] (greedy or exact), for
+       {!order_hints}; dropped on every push *)
+    mutable last_order : int array option;
   }
 
   let create () =
@@ -173,7 +152,7 @@ module Inc = struct
       tx_of_node = Pvec.create 0;
       var_of_tvar = Hashtbl.create 16;
       nvars = 0;
-      ord = Pvec.create 0;
+      topo = Topo.create ();
       first_ev = Pvec.create 0;
       completion = Pvec.create (-1);
       tryc_inv = Pvec.create (-1);
@@ -191,18 +170,6 @@ module Inc = struct
       readers_by_vv = Hashtbl.create 64;
       reads = Pvec.create dummy_reader;
       writers_of_var = Hashtbl.create 16;
-      out_head = Pvec.create (-1);
-      in_head = Pvec.create (-1);
-      e_dst = Pvec.create (-1);
-      e_next = Pvec.create (-1);
-      e_src = Pvec.create (-1);
-      e_inext = Pvec.create (-1);
-      edge_set = Hashtbl.create 256;
-      mark = Pvec.create 0;
-      stamp = 0;
-      dfs_stack = Pvec.create 0;
-      dfa = Pvec.create 0;
-      dfb = Pvec.create 0;
       frontier = Pvec.create 0;
       f_lo = 0;
       var_cache = Hashtbl.create 16;
@@ -212,8 +179,8 @@ module Inc = struct
       violation = None;
       cycle = None;
       taint = false;
-      reorders = 0;
       repairs = 0;
+      last_order = None;
     }
 
   let nnodes g = g.tx_of_node.Pvec.n
@@ -247,161 +214,12 @@ module Inc = struct
 
   (* --- edges and Pearce–Kelly maintenance ------------------------------ *)
 
-  let arena_add g u v =
-    let e = g.e_dst.Pvec.n in
-    Pvec.push g.e_dst v;
-    Pvec.push g.e_next (Pvec.get g.out_head u);
-    Pvec.set g.out_head u e;
-    Pvec.push g.e_src u;
-    Pvec.push g.e_inext (Pvec.get g.in_head v);
-    Pvec.set g.in_head v e
+  (* The order, the kinded edge arenas and the reorder machinery live in
+     [g.topo]; these are thin views with the node-id conventions baked in. *)
 
-  let arena_rollback g u v =
-    let e = g.e_dst.Pvec.n - 1 in
-    Pvec.set g.out_head u (Pvec.get g.e_next e);
-    Pvec.set g.in_head v (Pvec.get g.e_inext e);
-    Pvec.pop g.e_dst;
-    Pvec.pop g.e_next;
-    Pvec.pop g.e_src;
-    Pvec.pop g.e_inext
-
-  let fresh_stamp g =
-    g.stamp <- g.stamp + 1;
-    g.stamp
-
-  (* Forward DFS from [v] restricted to ord <= ub, collecting into [g.dfa];
-     true iff [target] was reached. *)
-  let dfs_fwd g v ub target =
-    let st = fresh_stamp g in
-    g.dfa.Pvec.n <- 0;
-    g.dfs_stack.Pvec.n <- 0;
-    Pvec.push g.dfs_stack v;
-    Pvec.set g.mark v st;
-    let hit = ref false in
-    while g.dfs_stack.Pvec.n > 0 && not !hit do
-      let w = Pvec.get g.dfs_stack (g.dfs_stack.Pvec.n - 1) in
-      Pvec.pop g.dfs_stack;
-      Pvec.push g.dfa w;
-      let e = ref (Pvec.get g.out_head w) in
-      while !e >= 0 && not !hit do
-        let s = Pvec.get g.e_dst !e in
-        if s = target then hit := true
-        else if Pvec.get g.ord s <= ub && Pvec.get g.mark s <> st then begin
-          Pvec.set g.mark s st;
-          Pvec.push g.dfs_stack s
-        end;
-        e := Pvec.get g.e_next !e
-      done
-    done;
-    !hit
-
-  (* Backward DFS from [u] restricted to ord >= lb, collecting into [g.dfb]. *)
-  let dfs_bwd g u lb =
-    let st = fresh_stamp g in
-    g.dfb.Pvec.n <- 0;
-    g.dfs_stack.Pvec.n <- 0;
-    Pvec.push g.dfs_stack u;
-    Pvec.set g.mark u st;
-    while g.dfs_stack.Pvec.n > 0 do
-      let w = Pvec.get g.dfs_stack (g.dfs_stack.Pvec.n - 1) in
-      Pvec.pop g.dfs_stack;
-      Pvec.push g.dfb w;
-      let e = ref (Pvec.get g.in_head w) in
-      while !e >= 0 do
-        let s = Pvec.get g.e_src !e in
-        if Pvec.get g.ord s >= lb && Pvec.get g.mark s <> st then begin
-          Pvec.set g.mark s st;
-          Pvec.push g.dfs_stack s
-        end;
-        e := Pvec.get g.e_inext !e
-      done
-    done
-
-  let reorder g =
-    (* Reassign the affected region's order indices: the backward set keeps
-       its relative order, then the forward set — both sorted by current
-       ord — packed into the same index pool, smallest first. *)
-    let nb = g.dfb.Pvec.n and nf = g.dfa.Pvec.n in
-    let all = Array.make (nb + nf) 0 in
-    for i = 0 to nb - 1 do
-      all.(i) <- Pvec.get g.dfb i
-    done;
-    for i = 0 to nf - 1 do
-      all.(nb + i) <- Pvec.get g.dfa i
-    done;
-    let by_ord a b = Int.compare (Pvec.get g.ord a) (Pvec.get g.ord b) in
-    let back = Array.sub all 0 nb and fwd = Array.sub all nb nf in
-    Array.sort by_ord back;
-    Array.sort by_ord fwd;
-    let pool = Array.map (Pvec.get g.ord) all in
-    Array.sort Int.compare pool;
-    let k = ref 0 in
-    Array.iter
-      (fun n ->
-        Pvec.set g.ord n pool.(!k);
-        incr k)
-      back;
-    Array.iter
-      (fun n ->
-        Pvec.set g.ord n pool.(!k);
-        incr k)
-      fwd;
-    g.reorders <- g.reorders + 1
-
-  (* Insert edge u -> v, maintaining the topological order.  [`Cycle] leaves
-     the graph exactly as it was. *)
-  let add_edge g u v =
-    if u = v then `Cycle
-    else if Hashtbl.mem g.edge_set (u, v) then `Ok
-    else begin
-      arena_add g u v;
-      if Pvec.get g.ord u < Pvec.get g.ord v then begin
-        Hashtbl.replace g.edge_set (u, v) ();
-        `Ok
-      end
-      else begin
-        let lb = Pvec.get g.ord v and ub = Pvec.get g.ord u in
-        if dfs_fwd g v ub u then begin
-          arena_rollback g u v;
-          `Cycle
-        end
-        else begin
-          dfs_bwd g u lb;
-          reorder g;
-          Hashtbl.replace g.edge_set (u, v) ();
-          `Ok
-        end
-      end
-    end
-
-  (* Is there a path a ~> b?  Only possible when ord a < ord b; DFS bounded
-     by b's order index. *)
-  let reach g a b =
-    if a = b then true
-    else if Pvec.get g.ord a >= Pvec.get g.ord b then false
-    else begin
-      let ub = Pvec.get g.ord b in
-      let st = fresh_stamp g in
-      g.dfs_stack.Pvec.n <- 0;
-      Pvec.push g.dfs_stack a;
-      Pvec.set g.mark a st;
-      let hit = ref false in
-      while g.dfs_stack.Pvec.n > 0 && not !hit do
-        let w = Pvec.get g.dfs_stack (g.dfs_stack.Pvec.n - 1) in
-        Pvec.pop g.dfs_stack;
-          let e = ref (Pvec.get g.out_head w) in
-        while !e >= 0 && not !hit do
-          let s = Pvec.get g.e_dst !e in
-          if s = b then hit := true
-          else if Pvec.get g.ord s < ub && Pvec.get g.mark s <> st then begin
-            Pvec.set g.mark s st;
-            Pvec.push g.dfs_stack s
-          end;
-          e := Pvec.get g.e_next !e
-        done
-      done;
-      !hit
-    end
+  let ord g n = Topo.ord g.topo n
+  let add_edge g ~kind u v = Topo.add_edge ~kind g.topo u v
+  let reach g a b = Topo.reach g.topo a b
 
   (* --- transactions ----------------------------------------------------- *)
 
@@ -412,41 +230,9 @@ module Inc = struct
      insertion was rolled back, so the path still does).  Recover one such
      path by parent-tracking DFS — the nodes of the counterexample cycle
      u -> v -> ... -> u that [tm check --dot] renders. *)
-  let find_path g v u =
-    if v = u then Some [ v ]
-    else begin
-      let st = fresh_stamp g in
-      let parent = Hashtbl.create 32 in
-      g.dfs_stack.Pvec.n <- 0;
-      Pvec.push g.dfs_stack v;
-      Pvec.set g.mark v st;
-      let hit = ref false in
-      while g.dfs_stack.Pvec.n > 0 && not !hit do
-        let w = Pvec.get g.dfs_stack (g.dfs_stack.Pvec.n - 1) in
-        Pvec.pop g.dfs_stack;
-        let e = ref (Pvec.get g.out_head w) in
-        while !e >= 0 && not !hit do
-          let s = Pvec.get g.e_dst !e in
-          if Pvec.get g.mark s <> st then begin
-            Pvec.set g.mark s st;
-            Hashtbl.replace parent s w;
-            if s = u then hit := true else Pvec.push g.dfs_stack s
-          end;
-          e := Pvec.get g.e_next !e
-        done
-      done;
-      if not !hit then None
-      else begin
-        let rec build s acc =
-          if s = v then s :: acc else build (Hashtbl.find parent s) (s :: acc)
-        in
-        Some (build u [])
-      end
-    end
-
   let record_cycle g u v =
     if g.cycle = None then
-      match find_path g v u with
+      match Topo.find_path g.topo v u with
       | Some path ->
           (* [path] runs v ... u; drop the final u and prepend it so the
              list reads u -> v -> ... (closing back to u implicitly). *)
@@ -471,9 +257,10 @@ module Inc = struct
         let n = nnodes g in
         Hashtbl.replace g.node_of_tx k n;
         Pvec.push g.tx_of_node k;
-        Pvec.push g.ord n;
         (* new nodes take the largest order index, so edges from existing
            nodes never trigger a reorder *)
+        let n' = Topo.add_node g.topo in
+        assert (n = n');
         Pvec.push g.first_ev g.idx;
         Pvec.push g.completion (-1);
         Pvec.push g.tryc_inv (-1);
@@ -484,14 +271,11 @@ module Inc = struct
         Pvec.push g.pend_val 0;
         Pvec.push g.wset (Bitset.create ());
         Pvec.push g.rset (Bitset.create ());
-        Pvec.push g.out_head (-1);
-        Pvec.push g.in_head (-1);
-        Pvec.push g.mark 0;
         (* real-time edges: the frontier holds exactly the maximal
            t-complete transactions, each of which really-time-precedes the
            newcomer; everything below them is implied transitively *)
         for fi = g.f_lo to g.frontier.Pvec.n - 1 do
-          match add_edge g (Pvec.get g.frontier fi) n with
+          match add_edge g ~kind:k_rt (Pvec.get g.frontier fi) n with
           | `Ok -> ()
           | `Cycle -> on_cycle g (Pvec.get g.frontier fi) n
         done;
@@ -630,7 +414,7 @@ module Inc = struct
                        (tx g n) (tx g w))
                 else begin
                   force_commit g w;
-                  (match add_edge g w n with
+                  (match add_edge g ~kind:k_rf w n with
                   | `Ok -> ()
                   | `Cycle -> on_cycle g w n);
                   add_vv_reader g x v (n, w);
@@ -641,6 +425,7 @@ module Inc = struct
               end
 
   let push g ev =
+    g.last_order <- None;
     (match ev with
     | Event.Inv (k, inv) -> (
         let n = node g k in
@@ -709,7 +494,7 @@ module Inc = struct
           | None -> []
         in
         let arr =
-          Array.of_list (List.map (fun n -> (Pvec.get g.ord n, n)) current)
+          Array.of_list (List.map (fun n -> (ord g n, n)) current)
         in
         Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
         Hashtbl.replace g.var_cache x (arr, g.epoch);
@@ -723,9 +508,9 @@ module Inc = struct
     if Array.length arr = 0 then []
     else begin
       let lo =
-        if r.rd_writer < 0 then min_int else Pvec.get g.ord r.rd_writer
+        if r.rd_writer < 0 then min_int else ord g r.rd_writer
       in
-      let hi = Pvec.get g.ord r.rd_node in
+      let hi = ord g r.rd_node in
       (* first index with ord > lo *)
       let l = ref 0 and rgt = ref (Array.length arr) in
       while !l < !rgt do
@@ -768,7 +553,7 @@ module Inc = struct
   let repair g ~heuristic (r : reader) w'' =
     let i = r.rd_node in
     let added u v =
-      match add_edge g u v with
+      match add_edge g ~kind:k_repair u v with
       | `Ok ->
           g.repairs <- g.repairs + 1;
           true
@@ -777,7 +562,7 @@ module Inc = struct
           contradiction g (cycle_msg g u v)
     in
     if r.rd_writer < 0 then begin
-      if Pvec.get g.ord w'' >= Pvec.get g.ord i then false
+      if ord g w'' >= ord g i then false
       else if reach g w'' i then begin
         (* the read forces i -> w'', but w'' already reaches i: that path
            plus the forced edge is the counterexample cycle *)
@@ -794,8 +579,7 @@ module Inc = struct
       let w = r.rd_writer in
       if
         not
-          (Pvec.get g.ord w < Pvec.get g.ord w''
-          && Pvec.get g.ord w'' < Pvec.get g.ord i)
+          (ord g w < ord g w'' && ord g w'' < ord g i)
       then false
       else begin
         let fst_blocked = reach g w w'' in
@@ -836,10 +620,9 @@ module Inc = struct
   let greedy_order g =
     let n = nnodes g in
     let indeg = Array.make (max 1 n) 0 in
-    for e = 0 to g.e_dst.Pvec.n - 1 do
-      let v = Pvec.get g.e_dst e in
-      indeg.(v) <- indeg.(v) + 1
-    done;
+    ignore
+      (Topo.iter_edges_from g.topo ~cursor:0 (fun _ v _ ->
+           indeg.(v) <- indeg.(v) + 1));
     (* binary min-heap of (commit_key, node) *)
     let hk = Array.make (max 1 n) 0 and hn = Array.make (max 1 n) 0 in
     let hsz = ref 0 in
@@ -883,19 +666,18 @@ module Inc = struct
     for nd = 0 to n - 1 do
       if indeg.(nd) = 0 then push (commit_key g nd) nd
     done;
-    let order = Array.make (max 1 n) 0 in
+    (* [Array.make n] and not [max 1 n]: an empty graph must yield an
+       empty order, or the phantom slot masquerades as node 0 downstream
+       (the sharded monitor certifies empty shards all the time) *)
+    let order = Array.make n 0 in
     let k = ref 0 in
     while !hsz > 0 do
       let nd = pop () in
       order.(!k) <- nd;
       incr k;
-      let e = ref (Pvec.get g.out_head nd) in
-      while !e >= 0 do
-        let v = Pvec.get g.e_dst !e in
-        indeg.(v) <- indeg.(v) - 1;
-        if indeg.(v) = 0 then push (commit_key g v) v;
-        e := Pvec.get g.e_next !e
-      done
+      Topo.succ_iter g.topo nd (fun v ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then push (commit_key g v) v)
     done;
     (* the graph is acyclic by construction, so the sort is total *)
     assert (!k = n);
@@ -1029,6 +811,7 @@ module Inc = struct
         in
         match fast with
         | Some order ->
+            g.last_order <- Some order;
             let ids = Array.to_list (Array.map (fun nd -> tx g nd) order) in
             let committed =
               List.filter
@@ -1043,7 +826,7 @@ module Inc = struct
                 let n = nnodes g in
                 let order = Array.init n (fun i -> i) in
                 Array.sort
-                  (fun a b -> Int.compare (Pvec.get g.ord a) (Pvec.get g.ord b))
+                  (fun a b -> Int.compare (ord g a) (ord g b))
                   order;
                 match replay g order with
                 | Some why ->
@@ -1051,6 +834,7 @@ module Inc = struct
                        search arbitrates *)
                     Ambiguous ("internal: graph certificate rejected: " ^ why)
                 | None ->
+                    g.last_order <- Some order;
                     let ids =
                       Array.to_list (Array.map (fun nd -> tx g nd) order)
                     in
@@ -1076,11 +860,69 @@ module Inc = struct
   let stats g =
     {
       nodes = nnodes g;
-      edges = g.e_dst.Pvec.n;
-      reorders = g.reorders;
+      edges = Topo.edge_count g.topo;
+      reorders = Topo.reorders g.topo;
       repairs = g.repairs;
       tainted = g.taint;
     }
+
+  type edge_kind = Rt | Reads_from | Repair
+
+  let edges_from g ~cursor =
+    let acc = ref [] in
+    let cursor' =
+      Topo.iter_edges_from g.topo ~cursor (fun u v k ->
+          let kind =
+            if k = k_rt then Rt else if k = k_rf then Reads_from else Repair
+          in
+          acc := (tx g u, tx g v, kind) :: !acc)
+    in
+    (List.rev !acc, cursor')
+
+  (* The serialization decisions behind the last [Sat], as a minimal edge
+     set: consecutive committed writers of each variable are chained in
+     certificate order, and every external read is ordered before the
+     first committed writer following its reads-from interval.  Any order
+     respecting these hints (plus the eager reads-from edges already in
+     the arena) satisfies every read interval the certificate validated —
+     without the cross-variable over-constraint a full totalisation of
+     the certificate order would impose. *)
+  let order_hints g =
+    match g.last_order with
+    | None -> []
+    | Some order ->
+        let n = nnodes g in
+        let pos = Array.make (max 1 n) 0 in
+        Array.iteri (fun p nd -> pos.(nd) <- p) order;
+        let acc = ref [] in
+        let add u v = if u <> v then acc := (tx g u, tx g v) :: !acc in
+        let chains = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun x r ->
+            let arr = Array.of_list !r in
+            Array.sort (fun a b -> Int.compare pos.(a) pos.(b)) arr;
+            Hashtbl.replace chains x arr;
+            for i = 0 to Array.length arr - 2 do
+              add arr.(i) arr.(i + 1)
+            done)
+          g.writers_of_var;
+        for ri = 0 to g.reads.Pvec.n - 1 do
+          let r = Pvec.get g.reads ri in
+          match Hashtbl.find_opt chains r.rd_var with
+          | None -> ()
+          | Some arr ->
+              let lo = if r.rd_writer < 0 then -1 else pos.(r.rd_writer) in
+              (* first chained writer positioned past the reads-from bound;
+                 the certificate placed it at or after the reader, and the
+                 chain orders every later writer behind it *)
+              let l = ref 0 and rgt = ref (Array.length arr) in
+              while !l < !rgt do
+                let m = (!l + !rgt) / 2 in
+                if pos.(arr.(m)) <= lo then l := m + 1 else rgt := m
+              done;
+              if !l < Array.length arr then add r.rd_node arr.(!l)
+        done;
+        !acc
 end
 
 let check_stats h =

@@ -1,0 +1,814 @@
+(* Sharded online monitor: the event stream is partitioned by location
+   across per-shard incremental conflict graphs, and du-opacity of the
+   whole stream is decided by a two-phase certify/stitch protocol.  See
+   the .mli for the contract; the notes here are about mechanics and the
+   soundness argument.
+
+   The coordinator is serial and cheap: it extends the accepted history
+   (well-formedness fails at exactly the index {!Monitor} would fail at),
+   tracks which shards each transaction has touched (a bitmask, which
+   caps the shard count at 62), appends location events to the owning
+   shard's buffer and boundary events to every touched shard's buffer,
+   and maintains its own global real-time frontier over an arbiter
+   {!Topo}.  All per-shard work — draining buffers into
+   {!Conflict_graph.Inc.push} and computing per-shard verdicts — happens
+   under the caller-supplied executor, one closure per shard over
+   disjoint state, so a domain pool can run the shards in parallel.
+
+   Certify stitches the shards back together:
+
+   1. every shard must answer [Sat] — an [Unsat] or [Ambiguous]
+      escalates.  A *tainted* [Sat] (one that leaned on a heuristic
+      anti-dependency choice) is accepted: it is still a
+      replay-validated certificate for the current projection, the
+      taint only clouds how a future shard-local contradiction would be
+      classified, and any such contradiction surfaces as a non-[Sat]
+      verdict — which escalates to the monitor's authoritative answer;
+   2. the shards' freshly forced reads-from and repair edges are drained
+      (by arena cursor) into the arbiter graph, which already carries
+      the exact global real-time order, and each shard's serialization
+      decisions — per-variable committed-writer chains and read
+      anti-dependencies, see {!Conflict_graph.Inc.order_hints} — are
+      planted as hint edges so the stitched order honours the intervals
+      the shard validated; a cycle either way escalates.  Shard-local
+      real-time edges are *not* drained: they are computed over the
+      projection, where a transaction can appear to start later than it
+      did, so they may be strictly stronger than the real order;
+   3. a candidate global order is a greedy Kahn traversal of the arbiter
+      graph keyed by completion order (live transactions last, by first
+      appearance), committing exactly the transactions that committed in
+      the history plus the attributed writers the reads-from edges force;
+   4. the candidate is validated against Definition 3, incrementally
+      from the longest common prefix with the previously validated
+      order: the frozen state past the divergence point is rewound
+      (live transactions sit at the tail of the stitched order, so each
+      completion migrates one forward and churns only the tail), and
+      just the suffix plus the frozen transactions' new reads are
+      checked, against per-variable binary-searchable stacks of
+      committed-writer positions — suffix writers take positions above
+      every surviving frozen reader, so they cannot retroactively
+      offend a validated read.  Only a commit decision that moved on a
+      transaction still frozen below the rewind point — state the
+      incremental path would wrongly reuse — forces the independent
+      {!Serialization.validate} to run in full.  A rejected candidate
+      escalates.
+
+   Escalation replays the accepted history through a fresh {!Monitor}
+   and hands the stream over to it for good, so after escalation every
+   outcome — verdict, violation index, budget behaviour — is the
+   monitor's own, by construction.  The sharded paths therefore never
+   declare a violation themselves; they only ever declare [`Ok], and
+   only on the strength of a validated certificate.
+
+   Why certifying the *current* prefix suffices for the safety closure
+   (every prefix du-opaque): non-prefix-closedness of du-opacity needs
+   two transactions writing the same value to the same variable
+   (Corollary 2; {!Tm_figures.Findings.corollary2_gap}), and any such
+   duplicate poisons the owning shard — variables do not cross shards —
+   into [Ambiguous], which escalates.  On the unique-writes fragment
+   that remains, du-opacity is prefix-closed, so a validated current
+   prefix certifies every prefix since the last certify. *)
+
+module Pvec = Topo.Pvec
+
+type outcome = Monitor.outcome
+
+exception Stitch_fail of string
+
+type shard = {
+  graph : Conflict_graph.Inc.t;
+  mutable buf : Event.t list;  (* routed, newest first; drained by certify *)
+  mutable cursor : int;  (* arena position up to which edges were drained *)
+  mutable verdict : Conflict_graph.result;  (* slot written by the executor *)
+  hinted : (Event.tx * Event.tx, unit) Hashtbl.t;
+      (* order hints already planted in the arbiter, so each certify only
+         adds the new ones *)
+}
+
+(* Coordinator-side per-transaction state.  [ti_pend_var] remembers the
+   variable of the pending read/write invocation so its response can be
+   routed to the same shard (responses do not carry the variable). *)
+type txinfo = {
+  ti_node : int;  (* arbiter node id *)
+  mutable ti_mask : int;  (* bitmask of shards this transaction touched *)
+  mutable ti_pend_var : int;
+  mutable ti_committed : bool;
+  mutable ti_must_commit : bool;  (* reads-from source: stitch must commit *)
+}
+
+type mode = Sharded | Escalated of Monitor.t
+
+type stitch_stats = {
+  shards : int;
+  certifies : int;
+  incremental : int;  (* certifies validated on the frontier fast path *)
+  full : int;  (* certifies that ran the full independent validation *)
+  escalated : string option;  (* why the stream was handed to a monitor *)
+}
+
+type t = {
+  nshards : int;
+  run : (unit -> unit) array -> unit;
+  max_nodes : int option;
+  shards : shard array;
+  txs : (Event.tx, txinfo) Hashtbl.t;
+  (* commit-order arbiter: exact real-time edges plus drained shard edges *)
+  topo : Topo.t;
+  node_tx : Event.tx Pvec.t;
+  first_ev : int Pvec.t;
+  completion : int Pvec.t;  (* index of C_k/A_k; -1 while live *)
+  frontier : int Pvec.t;
+  mutable f_lo : int;
+  mutable history : History.t;
+  mutable mode : mode;
+  (* counters *)
+  mutable events_seen : int;
+  mutable responses_seen : int;
+  mutable pending : int;
+  mutable n_certifies : int;
+  mutable n_incremental : int;
+  mutable n_full : int;
+  mutable why : string option;
+  (* last validated stitch, for the frontier-incremental certify *)
+  mutable vorder : Event.tx array;
+  vpos : (Event.tx, int) Hashtbl.t;  (* position in [vorder] *)
+  vcommitted : (Event.tx, unit) Hashtbl.t;  (* committed by the stitch *)
+  var_stacks : (Event.tvar, (int * Event.tx * Event.value) Pvec.t) Hashtbl.t;
+      (* var -> committed-writer (position, writer, final value), ascending *)
+  mutable vevents : int;  (* history length at the last validation *)
+  decided : (Event.tx, unit) Hashtbl.t;
+      (* frozen txns whose commit decision moved since the last seal; only
+         one still frozen *below* the stitch's rewind point forces a full
+         re-validation *)
+  changed : (Event.tx, unit) Hashtbl.t;  (* frozen txns with new events *)
+  wseen : (Event.tvar * Event.value, Event.tx) Hashtbl.t;
+      (* first writer of each (variable, value) pair — the coordinator's
+         Corollary 2 guard *)
+  tryc_inv : (Event.tx, int) Hashtbl.t;  (* index of tryC_k's invocation *)
+}
+
+let default_run jobs = Array.iter (fun job -> job ()) jobs
+
+let create ?max_nodes ?(nshards = 1) ?(run = default_run) () =
+  if nshards < 1 || nshards > 62 then
+    invalid_arg "Sharded_monitor.create: shard count must be within [1, 62]";
+  {
+    nshards;
+    run;
+    max_nodes;
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            graph = Conflict_graph.Inc.create ();
+            buf = [];
+            cursor = 0;
+            verdict = Conflict_graph.Ambiguous "not yet certified";
+            hinted = Hashtbl.create 64;
+          });
+    txs = Hashtbl.create 64;
+    topo = Topo.create ();
+    node_tx = Pvec.create 0;
+    first_ev = Pvec.create 0;
+    completion = Pvec.create (-1);
+    frontier = Pvec.create 0;
+    f_lo = 0;
+    history = History.empty;
+    mode = Sharded;
+    events_seen = 0;
+    responses_seen = 0;
+    pending = 0;
+    n_certifies = 0;
+    n_incremental = 0;
+    n_full = 0;
+    why = None;
+    vorder = [||];
+    vpos = Hashtbl.create 64;
+    vcommitted = Hashtbl.create 64;
+    var_stacks = Hashtbl.create 16;
+    vevents = 0;
+    decided = Hashtbl.create 16;
+    changed = Hashtbl.create 16;
+    wseen = Hashtbl.create 64;
+    tryc_inv = Hashtbl.create 64;
+  }
+
+let nshards t = t.nshards
+
+let status t =
+  match t.mode with Sharded -> `Ok | Escalated m -> Monitor.status m
+
+let history t =
+  match t.mode with Sharded -> t.history | Escalated m -> Monitor.history m
+
+let violation_index t =
+  match t.mode with Sharded -> None | Escalated m -> Monitor.violation_index m
+
+let events_seen t =
+  match t.mode with Sharded -> t.events_seen | Escalated m -> Monitor.events_seen m
+
+let responses_seen t =
+  match t.mode with
+  | Sharded -> t.responses_seen
+  | Escalated m -> Monitor.responses_seen m
+
+let pending_txns t =
+  match t.mode with Sharded -> t.pending | Escalated m -> Monitor.pending_txns m
+
+let escalated t = match t.mode with Sharded -> false | Escalated _ -> true
+
+let stitch_stats t =
+  {
+    shards = t.nshards;
+    certifies = t.n_certifies;
+    incremental = t.n_incremental;
+    full = t.n_full;
+    escalated = t.why;
+  }
+
+let snapshot t : Monitor.snapshot =
+  match t.mode with
+  | Escalated m -> Monitor.snapshot m
+  | Sharded ->
+      (* The monitor's counter vocabulary, reinterpreted (see .mli):
+         every response is absorbed without a search while sharded. *)
+      {
+        Monitor.events = t.events_seen;
+        responses = t.responses_seen;
+        fastpath_hits = t.responses_seen;
+        searches = t.n_certifies;
+        nodes = t.n_full;
+        pending = t.pending;
+      }
+
+let escalate t why =
+  match t.mode with
+  | Escalated _ -> ()
+  | Sharded ->
+      t.why <- Some why;
+      let m = Monitor.create ?max_nodes:t.max_nodes () in
+      ignore (Monitor.push_all m (History.to_list t.history));
+      t.mode <- Escalated m
+
+(* --- coordinator: routing and the arbiter's real-time order ------------ *)
+
+let shard_of t x = x mod t.nshards
+
+let route t si ev =
+  let s = t.shards.(si) in
+  s.buf <- ev :: s.buf
+
+let broadcast t mask ev =
+  let si = ref 0 and m = ref mask in
+  while !m <> 0 do
+    if !m land 1 <> 0 then route t !si ev;
+    incr si;
+    m := !m lsr 1
+  done
+
+let intern t k i =
+  match Hashtbl.find_opt t.txs k with
+  | Some ti -> ti
+  | None ->
+      let n = Topo.add_node t.topo in
+      Pvec.push t.node_tx k;
+      Pvec.push t.first_ev i;
+      Pvec.push t.completion (-1);
+      (* exact real-time edges, from the global frontier of maximal
+         t-complete transactions (everything below is implied) *)
+      for fi = t.f_lo to t.frontier.Pvec.n - 1 do
+        match Topo.add_edge ~kind:0 t.topo (Pvec.get t.frontier fi) n with
+        | `Ok -> ()
+        | `Cycle -> assert false (* the new node has no outgoing edges *)
+      done;
+      t.pending <- t.pending + 1;
+      let ti =
+        {
+          ti_node = n;
+          ti_mask = 0;
+          ti_pend_var = -1;
+          ti_committed = false;
+          ti_must_commit = false;
+        }
+      in
+      Hashtbl.replace t.txs k ti;
+      ti
+
+let complete t ti i =
+  Pvec.set t.completion ti.ti_node i;
+  let first_n = Pvec.get t.first_ev ti.ti_node in
+  (* drop frontier members covered by the newcomer: they completed before
+     it even started, so their future edges are implied transitively *)
+  while
+    t.f_lo < t.frontier.Pvec.n
+    && Pvec.get t.completion (Pvec.get t.frontier t.f_lo) < first_n
+  do
+    t.f_lo <- t.f_lo + 1
+  done;
+  Pvec.push t.frontier ti.ti_node;
+  t.pending <- t.pending - 1
+
+let ingest t ev =
+  let i = History.length t.history - 1 in
+  let frozen k = Hashtbl.mem t.vpos k in
+  match ev with
+  | Event.Inv (k, Event.Read x) ->
+      let ti = intern t k i in
+      ti.ti_pend_var <- x;
+      let si = shard_of t x in
+      ti.ti_mask <- ti.ti_mask lor (1 lsl si);
+      route t si ev
+  | Event.Inv (k, Event.Write (x, v)) -> (
+      (* the Corollary 2 guard, pulled up to the coordinator: a duplicate
+         written value between two transactions that could both commit
+         would poison the owning shard at its next certify anyway, but
+         escalating at the write keeps the replayed prefix — and so the
+         doomed sharded work — minimal.  A duplicate from an
+         already-aborted writer (the STM-retry idiom) is harmless and
+         just transfers the value's ownership, as in
+         {!Conflict_graph.Inc}. *)
+      let dup =
+        match Hashtbl.find_opt t.wseen (x, v) with
+        | Some k' when k' <> k ->
+            let ti' = Hashtbl.find t.txs k' in
+            if ti'.ti_committed || Pvec.get t.completion ti'.ti_node < 0 then
+              Some k'
+            else None
+        | _ -> None
+      in
+      match dup with
+      | Some k' ->
+          escalate t
+            (Fmt.str
+               "T%d and T%d both write %d to %a, which forfeits prefix \
+                closure (Corollary 2)"
+               k' k v Event.pp_tvar x)
+      | None ->
+          Hashtbl.replace t.wseen (x, v) k;
+          let ti = intern t k i in
+          ti.ti_pend_var <- x;
+          let si = shard_of t x in
+          ti.ti_mask <- ti.ti_mask lor (1 lsl si);
+          route t si ev)
+  | Event.Inv (k, (Event.Try_commit | Event.Try_abort)) ->
+      let ti = intern t k i in
+      (match ev with
+      | Event.Inv (_, Event.Try_commit) -> Hashtbl.replace t.tryc_inv k i
+      | _ -> ());
+      broadcast t ti.ti_mask ev
+  | Event.Res (k, (Event.Read_ok _ | Event.Write_ok)) ->
+      let ti = Hashtbl.find t.txs k in
+      t.responses_seen <- t.responses_seen + 1;
+      route t (shard_of t ti.ti_pend_var) ev;
+      ti.ti_pend_var <- -1;
+      if frozen k then Hashtbl.replace t.changed k ()
+  | Event.Res (k, ((Event.Committed | Event.Aborted) as r)) ->
+      let ti = Hashtbl.find t.txs k in
+      t.responses_seen <- t.responses_seen + 1;
+      (* an A_k answering a pending read/write reaches that operation's
+         shard too: its invocation already set the mask bit *)
+      broadcast t ti.ti_mask ev;
+      complete t ti i;
+      ti.ti_pend_var <- -1;
+      (match r with
+      | Event.Committed ->
+          ti.ti_committed <- true;
+          if frozen k && not (Hashtbl.mem t.vcommitted k) then
+            Hashtbl.replace t.decided k ()
+      | Event.Aborted ->
+          if frozen k && Hashtbl.mem t.vcommitted k then
+            Hashtbl.replace t.decided k ()
+      | _ -> ());
+      if frozen k then Hashtbl.replace t.changed k ()
+
+let push t ev =
+  match t.mode with
+  | Escalated m -> Monitor.push m ev
+  | Sharded -> (
+      t.events_seen <- t.events_seen + 1;
+      match History.extend t.history ev with
+      | Error _ -> (
+          (* A monitor would reject this event too — but it may also have
+             failed earlier, inside the uncertified window; the replay
+             decides both with the right violation index. *)
+          escalate t "ill-formed event";
+          match t.mode with
+          | Escalated m -> Monitor.push m ev
+          | Sharded -> assert false)
+      | Ok h' ->
+          t.history <- h';
+          ingest t ev;
+          (* ingest can escalate (duplicate written value), and the
+             replayed monitor may already have a verdict for this event *)
+          status t)
+
+let push_all t events =
+  List.fold_left (fun _ ev -> push t ev) (status t) events
+
+(* --- phase 2: the stitch ------------------------------------------------ *)
+
+let cert_commits t k =
+  let ti = Hashtbl.find t.txs k in
+  ti.ti_committed || ti.ti_must_commit
+
+(* Greedy Kahn traversal of the arbiter graph, keyed by completion order
+   (live transactions last, by first appearance).  The arbiter is kept
+   acyclic by [Topo.add_edge], so the traversal is total. *)
+let kahn t =
+  let n = Topo.nodes t.topo in
+  let indeg = Array.make (max 1 n) 0 in
+  ignore
+    (Topo.iter_edges_from t.topo ~cursor:0 (fun _ v _ ->
+         indeg.(v) <- indeg.(v) + 1));
+  let key nd =
+    let c = Pvec.get t.completion nd in
+    if c >= 0 then c else (max_int / 2) + Pvec.get t.first_ev nd
+  in
+  (* binary min-heap over (key, node) *)
+  let heap = Array.make (max 1 n) (0, 0) in
+  let hn = ref 0 in
+  let push_h kv =
+    let i = ref !hn in
+    incr hn;
+    heap.(!i) <- kv;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if fst heap.(p) > fst heap.(!i) then begin
+        let tmp = heap.(p) in
+        heap.(p) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+  in
+  let pop_h () =
+    let top = heap.(0) in
+    decr hn;
+    heap.(0) <- heap.(!hn);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let small = ref !i in
+      if l < !hn && fst heap.(l) < fst heap.(!small) then small := l;
+      if r < !hn && fst heap.(r) < fst heap.(!small) then small := r;
+      if !small <> !i then begin
+        let tmp = heap.(!small) in
+        heap.(!small) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !small
+      end
+      else continue := false
+    done;
+    top
+  in
+  for nd = 0 to n - 1 do
+    if indeg.(nd) = 0 then push_h (key nd, nd)
+  done;
+  let out = Array.make n (-1) in
+  let m = ref 0 in
+  while !hn > 0 do
+    let _, nd = pop_h () in
+    out.(!m) <- nd;
+    incr m;
+    Topo.succ_iter t.topo nd (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then push_h (key v, v))
+  done;
+  assert (!m = n);
+  Array.map (Pvec.get t.node_tx) out
+
+let stack_of t x =
+  match Hashtbl.find_opt t.var_stacks x with
+  | Some s -> s
+  | None ->
+      let s = Pvec.create (-1, -1, 0) in
+      Hashtbl.replace t.var_stacks x s;
+      s
+
+(* Number of leading stack entries whose position is below [p]. *)
+let stack_below stack p =
+  let lo = ref 0 and hi = ref stack.Pvec.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let pos, _, _ = Pvec.get stack mid in
+    if pos < p then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Check one transaction's value-returning reads (with response index
+   [>= min_res]) at stitched position [p], against the same clauses
+   [Serialization.validate ~claim:Du_opaque] applies: an internal read
+   returns the own write; an external read returns the final write of the
+   latest stitch-committed preceding writer both with and without the
+   deferred-update filter (tryC invoked before the read responded). *)
+let check_txn t k p ~min_res ~check_decision =
+  let txn = History.info t.history k in
+  let dec = cert_commits t k in
+  if check_decision && not (List.mem dec (Txn.commit_choices txn)) then
+    raise
+      (Stitch_fail
+         (Fmt.str "no completion lets T%d be %s" k
+            (if dec then "committed" else "aborted")));
+  List.iter
+    (fun (r : Txn.read) ->
+      if r.Txn.res_index >= min_res then
+        match r.Txn.kind with
+        | `Internal own ->
+            if r.Txn.value <> own then
+              raise
+                (Stitch_fail
+                   (Fmt.str "T%d: internal read of %a returned %d, not %d" k
+                      Event.pp_tvar r.Txn.var r.Txn.value own))
+        | `External ->
+            let stack = stack_of t r.Txn.var in
+            let below = stack_below stack p in
+            let latest =
+              if below = 0 then Event.init_value
+              else
+                let _, _, v = Pvec.get stack (below - 1) in
+                v
+            in
+            if r.Txn.value <> latest then
+              raise
+                (Stitch_fail
+                   (Fmt.str
+                      "T%d: read of %a returned %d, latest committed \
+                       preceding write is %d"
+                      k Event.pp_tvar r.Txn.var r.Txn.value latest));
+            let rec du_filtered i =
+              if i < 0 then Event.init_value
+              else
+                let _, m, v = Pvec.get stack i in
+                match Hashtbl.find_opt t.tryc_inv m with
+                | Some ti when ti < r.Txn.res_index -> v
+                | _ -> du_filtered (i - 1)
+            in
+            let filtered = du_filtered (below - 1) in
+            if r.Txn.value <> filtered then
+              raise
+                (Stitch_fail
+                   (Fmt.str
+                      "T%d: read of %a returned %d but the deferred-update \
+                       filter yields %d"
+                      k Event.pp_tvar r.Txn.var r.Txn.value filtered)))
+    (Txn.reads txn)
+
+let freeze_txn t k p =
+  Hashtbl.replace t.vpos k p;
+  if cert_commits t k then begin
+    Hashtbl.replace t.vcommitted k ();
+    List.iter
+      (fun (x, v) ->
+        let stack = stack_of t x in
+        Pvec.push stack (p, k, v))
+      (Txn.final_writes (History.info t.history k))
+  end
+
+let seal_validation t order =
+  t.vorder <- order;
+  t.vevents <- History.length t.history;
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.changed
+
+(* On failure the caches are left half-updated — harmless, because every
+   failure escalates and an escalated monitor never consults them. *)
+let validate_incremental t order nv =
+  t.n_incremental <- t.n_incremental + 1;
+  match
+    (* new reads of frozen transactions: their positions are below every
+       appended writer's, so the frozen stacks already decide them *)
+    Hashtbl.iter
+      (fun k () ->
+        match Hashtbl.find_opt t.vpos k with
+        | Some p -> check_txn t k p ~min_res:t.vevents ~check_decision:false
+        | None -> ())
+      t.changed;
+    (* appended transactions, in stitched order: check, then expose *)
+    for p = nv to Array.length order - 1 do
+      let k = order.(p) in
+      check_txn t k p ~min_res:0 ~check_decision:true;
+      freeze_txn t k p
+    done
+  with
+  | () ->
+      seal_validation t order;
+      Ok ()
+  | exception Stitch_fail why -> Error why
+
+let validate_full t order =
+  t.n_full <- t.n_full + 1;
+  let order_l = Array.to_list order in
+  let s =
+    Serialization.make ~order:order_l
+      ~committed:(List.filter (cert_commits t) order_l)
+  in
+  match Serialization.validate t.history s with
+  | Error why -> Error why
+  | Ok () ->
+      Hashtbl.reset t.vpos;
+      Hashtbl.reset t.vcommitted;
+      Hashtbl.reset t.var_stacks;
+      Array.iteri (fun p k -> freeze_txn t k p) order;
+      seal_validation t order;
+      Ok ()
+
+(* Forget the frozen state from position [c] on.  Live transactions are
+   stitched at the tail of the order, so each one that completes migrates
+   forward and diverges the tail on the next certify; rewinding just the
+   divergent suffix (positions, commit marks, stack entries at [>= c])
+   keeps certify proportional to the churn instead of re-validating the
+   whole history. *)
+let rewind t c =
+  for i = c to Array.length t.vorder - 1 do
+    let k = t.vorder.(i) in
+    Hashtbl.remove t.vpos k;
+    Hashtbl.remove t.vcommitted k
+  done;
+  Hashtbl.iter
+    (fun _ stack ->
+      while
+        stack.Pvec.n > 0
+        &&
+        let pos, _, _ = Pvec.get stack (stack.Pvec.n - 1) in
+        pos >= c
+      do
+        Pvec.pop stack
+      done)
+    t.var_stacks
+
+let stitch t =
+  let order = kahn t in
+  let nv = Array.length t.vorder in
+  let n = Array.length order in
+  let common = ref 0 in
+  while !common < nv && !common < n && order.(!common) = t.vorder.(!common) do
+    incr common
+  done;
+  (* a commit decision that moved on a transaction still frozen *below*
+     the rewind point has already leaked into stack state the incremental
+     path would reuse — only then is the full re-validation needed *)
+  let stale =
+    Hashtbl.fold
+      (fun k () acc ->
+        acc
+        ||
+        match Hashtbl.find_opt t.vpos k with
+        | Some p -> p < !common
+        | None -> false)
+      t.decided false
+  in
+  let res =
+    if stale then validate_full t order
+    else begin
+      if !common < nv then rewind t !common;
+      validate_incremental t order !common
+    end
+  in
+  match res with
+  | Ok () -> `Ok
+  | Error why ->
+      escalate t (Fmt.str "stitched order rejected: %s" why);
+      status t
+
+let certify t =
+  match t.mode with
+  | Escalated m -> Monitor.status m
+  | Sharded -> (
+      t.n_certifies <- t.n_certifies + 1;
+      (* phase 1, parallel per shard: drain the routed events and compute
+         the shard-local certificate *)
+      let jobs =
+        Array.map
+          (fun s ->
+            fun () ->
+             let events = List.rev s.buf in
+             s.buf <- [];
+             List.iter (Conflict_graph.Inc.push s.graph) events;
+             s.verdict <- Conflict_graph.Inc.verdict s.graph)
+          t.shards
+      in
+      t.run jobs;
+      let bad = ref None in
+      Array.iteri
+        (fun i s ->
+          if !bad = None then
+            match s.verdict with
+            (* a tainted [Sat] is still a replay-validated certificate for
+               the current projection; taint only clouds how a *future*
+               contradiction would be classified, and the stitch
+               re-validates the global order independently anyway *)
+            | Conflict_graph.Sat _ -> ()
+            | Conflict_graph.Unsat why | Conflict_graph.Ambiguous why ->
+                bad := Some (Fmt.str "shard %d: %s" i why))
+        t.shards;
+      match !bad with
+      | Some why ->
+          escalate t why;
+          status t
+      | None -> (
+          (* drain the freshly forced shard edges into the arbiter *)
+          let cycle = ref None in
+          Array.iter
+            (fun s ->
+              let edges, cursor' =
+                Conflict_graph.Inc.edges_from s.graph ~cursor:s.cursor
+              in
+              s.cursor <- cursor';
+              List.iter
+                (fun (a, b, kind) ->
+                  match kind with
+                  | Conflict_graph.Inc.Rt -> ()
+                  | Conflict_graph.Inc.Reads_from | Conflict_graph.Inc.Repair
+                    ->
+                      if !cycle = None then begin
+                        let ta = Hashtbl.find t.txs a
+                        and tb = Hashtbl.find t.txs b in
+                        (match
+                           Topo.add_edge ~kind:1 t.topo ta.ti_node tb.ti_node
+                         with
+                        | `Ok -> ()
+                        | `Cycle ->
+                            cycle :=
+                              Some
+                                (Fmt.str
+                                   "shard orderings of T%d and T%d close a \
+                                    cycle"
+                                   a b));
+                        if
+                          kind = Conflict_graph.Inc.Reads_from
+                          && not (ta.ti_committed || ta.ti_must_commit)
+                        then begin
+                          ta.ti_must_commit <- true;
+                          if
+                            Hashtbl.mem t.vpos a
+                            && not (Hashtbl.mem t.vcommitted a)
+                          then Hashtbl.replace t.decided a ()
+                        end
+                      end)
+                edges;
+              (* plant the certificate's serialization decisions (per-var
+                 writer chains, read anti-dependencies — see
+                 [Inc.order_hints]) so the stitched order honours them;
+                 shards disagreeing about a cross-shard pair close a
+                 cycle, which escalates *)
+              if !cycle = None then
+                List.iter
+                  (fun ((a, b) as h) ->
+                    if !cycle = None && not (Hashtbl.mem s.hinted h) then begin
+                      Hashtbl.replace s.hinted h ();
+                      let ta = Hashtbl.find t.txs a
+                      and tb = Hashtbl.find t.txs b in
+                      match
+                        Topo.add_edge ~kind:2 t.topo ta.ti_node tb.ti_node
+                      with
+                      | `Ok -> ()
+                      | `Cycle ->
+                          cycle :=
+                            Some
+                              (Fmt.str
+                                 "shard order hints for T%d and T%d close a \
+                                  cycle"
+                                 a b)
+                    end)
+                  (Conflict_graph.Inc.order_hints s.graph))
+            t.shards;
+          match !cycle with
+          | Some why ->
+              escalate t why;
+              status t
+          | None -> stitch t))
+
+(* --- serializable checkpoints ------------------------------------------ *)
+
+let persist t =
+  ignore (certify t);
+  {
+    Monitor.p_max_nodes = t.max_nodes;
+    p_events = History.to_list (history t);
+    p_status = status t;
+    p_violation_index = violation_index t;
+    p_counters = snapshot t;
+  }
+
+let of_persisted ?nshards ?run (p : Monitor.persisted) =
+  match p.Monitor.p_status with
+  | `Violation _ | `Budget _ ->
+      (* a recorded failure is adopted exactly as [Monitor.of_persisted]
+         adopts it, and the stream stays escalated from the start *)
+      Result.map
+        (fun m ->
+          let t = create ?max_nodes:p.Monitor.p_max_nodes ?nshards ?run () in
+          t.mode <- Escalated m;
+          t)
+        (Monitor.of_persisted p)
+  | `Ok -> (
+      let t = create ?max_nodes:p.Monitor.p_max_nodes ?nshards ?run () in
+      ignore (push_all t p.Monitor.p_events);
+      match certify t with
+      | `Ok -> Ok t
+      | `Violation why | `Budget why ->
+          Error
+            (Fmt.str "corrupt capsule: recorded `Ok but the replay finds: %s"
+               why))

@@ -1,0 +1,135 @@
+(** Location-sharded online du-opacity monitor.
+
+    A drop-in, scale-out sibling of {!Monitor}: events stream in one at a
+    time, and the safety closure of du-opacity — {e every prefix} of the
+    stream du-opaque — is decided by a {e two-phase certify/stitch}
+    protocol instead of one sequential certificate:
+
+    {ol
+    {- {b Shard-local certify.}  Events are partitioned by location:
+       a read or write of variable [X] (invocation and response) belongs
+       to shard [X mod nshards]; transaction-boundary events ([tryC],
+       [tryA], [C_k], [A_k]) are broadcast to every shard the transaction
+       has touched.  Each shard feeds its subsequence to its own
+       incremental conflict graph ({!Conflict_graph.Inc}).  All shard
+       work runs under a caller-supplied executor (one closure per shard,
+       over disjoint state), so an OCaml 5 domain pool can run the shards
+       in parallel; the default executor is sequential.}
+    {- {b Global stitch.}  {!certify} asks every shard for a [Sat]
+       (tainted or not: a tainted certificate is still replay-validated
+       for the current projection, and the stitch re-validates
+       globally), drains the shards' freshly forced reads-from and
+       repair edges (never their real-time edges, which are computed
+       over a projection and may be stronger than the real order) into
+       a commit-order arbiter that also carries the exact global
+       real-time frontier, plants each certificate's serialization
+       decisions as hint edges ({!Conflict_graph.Inc.order_hints}),
+       extracts a candidate global order by a greedy Kahn traversal
+       keyed by completion order, and validates it against Definition 3
+       — incrementally when the candidate extends the previously
+       validated order (only appended transactions and the frozen
+       transactions' new reads are re-checked, against
+       binary-searchable per-variable committed-writer stacks), through
+       the independent {!Serialization.validate} otherwise.}}
+
+    {b The sharded paths never declare a violation.}  Anything the
+    protocol cannot certify — a shard [Unsat] or [Ambiguous], a
+    cross-shard cycle, a rejected stitched order, an
+    ill-formed event — {e escalates}: the accepted history is replayed
+    through a fresh {!Monitor} (with the same [max_nodes] budget) which
+    then owns the stream for good.  After escalation every observable —
+    outcome, violation index, counters — is the monitor's own, so the
+    sharded monitor agrees with {!Monitor} on every stream by
+    construction; before escalation it reports [`Ok], which is sound
+    because a violating prefix can never be certified: duplicate written
+    values (the one way du-opacity loses prefix-closure, Corollary 2)
+    poison the owning shard into escalation, and on the unique-writes
+    fragment a validated current prefix covers every prefix below it.
+
+    {!push} is deliberately cheap — well-formedness, routing, real-time
+    bookkeeping — and verdicts are only computed at {!certify}
+    boundaries; in between, {!status} is the {e provisional} [`Ok].  The
+    streaming service certifies at checkpoint, close and resume points,
+    and {!persist} certifies before capturing a capsule, so a recorded
+    [`Ok] is always a certified one. *)
+
+type t
+
+type outcome = Monitor.outcome
+
+val create :
+  ?max_nodes:int ->
+  ?nshards:int ->
+  ?run:((unit -> unit) array -> unit) ->
+  unit ->
+  t
+(** [max_nodes] is the search budget of the escalation monitor (as in
+    {!Monitor.create}).  [nshards] defaults to [1] — a single shard whose
+    conflict graph certifies the whole stream, which is the cheapest
+    configuration for streams without location parallelism — and must be
+    within [[1, 62]] (shard sets are tracked as bitmasks).  [run] executes
+    an array of independent shard jobs and must call each exactly once,
+    on any domain, returning only when all have finished; it defaults to
+    running them sequentially in the calling domain. *)
+
+val push : t -> Event.t -> outcome
+(** Ingest one event.  [`Ok] means {e accepted}, not certified: verdicts
+    are computed by {!certify}.  After escalation this is exactly
+    {!Monitor.push}, sticky failures included. *)
+
+val push_all : t -> Event.t list -> outcome
+
+val certify : t -> outcome
+(** Run both phases over everything pushed so far and return the stream's
+    outcome: [`Ok] iff a stitched global certificate validated (in which
+    case every prefix since the last certify is du-opaque), otherwise the
+    escalation monitor's sticky verdict. *)
+
+val status : t -> outcome
+(** Current outcome without doing any work: the provisional [`Ok] while
+    un-escalated, the monitor's sticky outcome after. *)
+
+val history : t -> History.t
+val violation_index : t -> int option
+val events_seen : t -> int
+val responses_seen : t -> int
+val pending_txns : t -> int
+val nshards : t -> int
+
+val escalated : t -> bool
+(** Has the stream been handed to a sequential {!Monitor}?  Escalation is
+    permanent but benign: it also happens on streams a single conflict
+    graph cannot certify (duplicate written values, say), where the
+    monitor may well still answer [`Ok]. *)
+
+type stitch_stats = {
+  shards : int;
+  certifies : int;  (** {!certify} calls so far *)
+  incremental : int;  (** certifies validated on the frontier fast path *)
+  full : int;  (** certifies that ran {!Serialization.validate} in full *)
+  escalated : string option;  (** what triggered escalation, if anything *)
+}
+
+val stitch_stats : t -> stitch_stats
+
+val snapshot : t -> Monitor.snapshot
+(** The monitor's counter vocabulary, so the streaming service can account
+    sharded sessions unchanged.  While un-escalated the reinterpretation
+    is: every response counts as a fast-path hit (no backtracking search
+    ever runs), [searches] counts {!certify} calls and [nodes] counts the
+    certifies that needed a full (non-incremental) stitch validation. *)
+
+val persist : t -> Monitor.persisted
+(** Certifies, then captures a {!Monitor.persisted} capsule — the two
+    monitors share the checkpoint format, so journals and snapshots are
+    oblivious to which one wrote them. *)
+
+val of_persisted :
+  ?nshards:int ->
+  ?run:((unit -> unit) array -> unit) ->
+  Monitor.persisted ->
+  (t, string) result
+(** Rebuild from a capsule: replay the recorded events and certify.  A
+    recorded failure is adopted exactly as {!Monitor.of_persisted} adopts
+    it (the rebuilt stream starts escalated); [Error _] when the capsule
+    records [`Ok] but the replay cannot certify it. *)

@@ -48,6 +48,8 @@ module Limit = Tm_checker.Limit
 module Shrink = Tm_checker.Shrink
 module Dot = Tm_checker.Dot
 module Monitor = Tm_checker.Monitor
+module Sharded_monitor = Tm_checker.Sharded_monitor
+module Topo = Tm_checker.Topo
 
 (** {1 The paper's example histories} *)
 

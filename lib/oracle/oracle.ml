@@ -2,6 +2,7 @@ module Du = Tm_checker.Du_opacity
 module Lu = Tm_checker.Last_use_opacity
 module Conflict_graph = Tm_checker.Conflict_graph
 module Monitor = Tm_checker.Monitor
+module Sharded = Tm_checker.Sharded_monitor
 module Verdict = Tm_checker.Verdict
 module Serialization = Tm_checker.Serialization
 module Shrink = Tm_checker.Shrink
@@ -179,6 +180,30 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
         mon_first_bad := Monitor.violation_index m;
         v3_of_outcome (Monitor.status m))
   in
+  (* Sharded monitor: the two-phase certify/stitch path, certified at a
+     handful of intermediate boundaries and at the end — intermediate
+     certifies exercise the frontier-incremental stitch validation, the
+     final one settles the verdict.  Escalation adopts a monitor with the
+     same budget wholesale, so the designed invariant is parity with the
+     monitor leg: final verdict, and first violating prefix when both
+     blame one. *)
+  let shd_first_bad = ref None in
+  let sharded =
+    timed "sharded" (fun () ->
+        let m = Sharded.create ~max_nodes ~nshards:4 () in
+        let certify_at =
+          let stride = max 1 (List.length bs / 6) in
+          List.filteri (fun i _ -> i mod stride = stride - 1) bs
+        in
+        List.iteri
+          (fun i ev ->
+            ignore (Sharded.push m ev);
+            if List.mem (i + 1) certify_at then ignore (Sharded.certify m))
+          (History.to_list h);
+        let v = Sharded.certify m in
+        shd_first_bad := Sharded.violation_index m;
+        v3_of_outcome v)
+  in
   (* Last-use-opacity legs: the batch checker and the per-boundary
      incremental one.  The criterion is not prefix-closed, so the
      incremental path is exact per prefix (never sticky) and every
@@ -230,6 +255,7 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
   cmp "batch" "fast" batch fast "";
   cmp "batch" "graph" batch graph "";
   cmp "inc" "monitor" inc monitor "";
+  cmp "monitor" "sharded" monitor sharded "";
   cmp "lu" "lu-inc" lu lu_inc "";
   (* Containment as an executable theorem: du-opaque ⇒ last-use-opaque
      (optional candidate visibility makes every du witness verbatim a
@@ -266,6 +292,12 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
   | Some i, Some j when i <> j && inc = Some Bad3 && monitor = Some Bad3 ->
       add Verdict_mismatch "inc" "monitor"
         (Fmt.str "first violating prefix: inc=%d monitor=%d" i j)
+  | _ -> ());
+  (match !mon_first_bad, !shd_first_bad with
+  | Some i, Some j when i <> j && monitor = Some Bad3 && sharded = Some Bad3
+    ->
+      add Verdict_mismatch "monitor" "sharded"
+        (Fmt.str "first violating prefix: monitor=%d sharded=%d" i j)
   | _ -> ());
   (* The sticky paths decide {e prefix} du-opacity — du-opacity of every
      response-boundary prefix, i.e. the safety closure of du-opacity.  Under
@@ -334,7 +366,7 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
                "batch=violation %s=ok (the full history is itself a prefix)"
                name)
       | _ -> ())
-    [ ("inc", inc); ("monitor", monitor) ];
+    [ ("inc", inc); ("monitor", monitor); ("sharded", sharded) ];
   (* Loopback service round-trip on the final verdict. *)
   (match submit with
   | None -> ()
@@ -346,7 +378,7 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
     !arb_unknown
     || List.exists
          (fun v -> v = Some Unk3)
-         [ batch; fast; inc; monitor; lu; lu_inc ]
+         [ batch; fast; inc; monitor; sharded; lu; lu_inc ]
     || List.exists (fun (_, v) -> v = Unk3) !inc_verdicts
     || List.exists (fun (_, v) -> v = Unk3) !lu_inc_verdicts
     || Array.exists (fun v -> v = Unk3) (Array.sub mon_by_event 0 n)

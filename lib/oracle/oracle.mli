@@ -87,6 +87,11 @@ val lockstep :
     - a fresh {!Tm_checker.Monitor} fed event by event, compared against
       the incremental path {e at every boundary} and on the index of the
       first violating prefix;
+    - a location-sharded {!Tm_checker.Sharded_monitor} (4 shards),
+      certified at a handful of intermediate boundaries — exercising the
+      frontier-incremental stitch validation — and at the end, compared
+      against the monitor on the final verdict and, when both blame a
+      violating prefix, on its index;
     - prefix-closure as an executable invariant: the first violating prefix
       is re-judged from scratch (a refutation convicts the incremental
       state), and boundaries after it are re-checked — a later acceptance

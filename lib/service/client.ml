@@ -228,6 +228,19 @@ let stats t =
   in
   wait ()
 
+let shard_stats t session =
+  Wire.send t.fd (Protocol.Shards_req { session });
+  let rec wait () =
+    match recv_frame t with
+    | Protocol.Shards { session = s; stats } when s = session -> stats
+    | Protocol.Throttle _ ->
+        t.throttled <- t.throttled + 1;
+        wait ()
+    | Protocol.Heartbeat | Protocol.Verdict _ | Protocol.Shards _ -> wait ()
+    | f -> raise (error_of f)
+  in
+  wait ()
+
 let close t =
   if not t.closed then begin
     t.closed <- true;

@@ -48,7 +48,7 @@ val connect_retry : ?backoff:backoff -> ?seed:int -> ?version:int ->
     server restart.  Re-raises the last failure when the budget runs dry. *)
 
 val version : t -> int
-(** The negotiated protocol version (1 or 2). *)
+(** The negotiated protocol version (1, 2 or 3). *)
 
 val open_session : t -> int -> unit
 (** Session identifiers are client-chosen, scoped to this connection — or
@@ -124,6 +124,13 @@ val submit_durable :
     answers with a non-retryable error. *)
 
 val stats : t -> Protocol.domain_stats list
+
+val shard_stats : t -> int -> Protocol.shard_stats
+(** Round-trip: the session's two-phase certify/stitch counters on a
+    sharded server (v3) — shard count, certifications run, how many took
+    the incremental versus the full validation path, and the escalation
+    reason if the session was handed to the sequential monitor.
+    @raise Server_error on a pre-v3 connection. *)
 
 val close : t -> unit
 (** Send [Goodbye] (best-effort) and close the socket.  Idempotent. *)

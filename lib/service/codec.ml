@@ -148,12 +148,85 @@ let put_events b events =
   put_uvarint b (List.length events);
   List.iter (put_event b) events
 
+(* A whole frame's batch decodes in a single pass: the hot loop reads
+   through [r.pos] with the per-byte limit checks hoisted into one slack
+   test per event — no event encodes to more than [max_event_bytes] (a
+   tag plus three maximal varints), so inside that window every byte
+   access is in bounds by construction.  Events near the frame boundary,
+   and only those, fall back to the per-event reference decoder
+   [get_event]; the fuzz suite holds the two paths to byte-identical
+   results, failure messages included. *)
+
+let max_event_bytes = 1 + (3 * 9)
+
 let get_events r =
   let n = get_uvarint r in
   if n > remaining r then
     (* each event takes >= 2 bytes; an inflated count cannot be honest *)
     fail "event count %d exceeds remaining payload" n;
-  List.init n (fun _ -> get_event r)
+  let data = r.data in
+  (* [get_uvarint] with the bounds checks elided; failure positions and
+     messages mirror the checked decoder exactly *)
+  let uvarint () =
+    let b0 = Char.code (String.unsafe_get data r.pos) in
+    r.pos <- r.pos + 1;
+    if b0 < 0x80 then b0
+    else begin
+      let acc = ref (b0 land 0x7f) and shift = ref 7 and cont = ref true in
+      while !cont do
+        if !shift > 56 then fail "varint too long at byte %d" r.pos;
+        let byte = Char.code (String.unsafe_get data r.pos) in
+        r.pos <- r.pos + 1;
+        acc := !acc lor ((byte land 0x7f) lsl !shift);
+        if byte land 0x80 = 0 then begin
+          if !shift = 56 && byte > 0x3f then fail "varint overflows 63 bits";
+          cont := false
+        end
+        else shift := !shift + 7
+      done;
+      !acc
+    end
+  in
+  let zint () =
+    let z = uvarint () in
+    if z land 1 = 0 then z lsr 1 else lnot (z lsr 1)
+  in
+  let tx () =
+    let k = uvarint () in
+    if k <= 0 then fail "transaction identifier must be positive, got %d" k;
+    k
+  in
+  let fast_event () =
+    let tag = Char.code (String.unsafe_get data r.pos) in
+    r.pos <- r.pos + 1;
+    if tag = tag_inv_read then
+      let k = tx () in
+      Event.Inv (k, Event.Read (uvarint ()))
+    else if tag = tag_inv_write then begin
+      let k = tx () in
+      let var = uvarint () in
+      Event.Inv (k, Event.Write (var, zint ()))
+    end
+    else if tag = tag_inv_tryc then Event.Inv (tx (), Event.Try_commit)
+    else if tag = tag_inv_trya then Event.Inv (tx (), Event.Try_abort)
+    else if tag = tag_res_read then
+      let k = tx () in
+      Event.Res (k, Event.Read_ok (zint ()))
+    else if tag = tag_res_write then Event.Res (tx (), Event.Write_ok)
+    else if tag = tag_res_committed then Event.Res (tx (), Event.Committed)
+    else if tag = tag_res_aborted then Event.Res (tx (), Event.Aborted)
+    else fail "unknown event tag %d" tag
+  in
+  let rec build i acc =
+    if i >= n then List.rev acc
+    else
+      let ev =
+        if r.limit - r.pos >= max_event_bytes then fast_event ()
+        else get_event r
+      in
+      build (i + 1) (ev :: acc)
+  in
+  build 0 []
 
 (* --- standalone history files ------------------------------------------ *)
 

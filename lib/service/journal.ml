@@ -3,6 +3,7 @@ module Monitor = Tm_checker.Monitor
 let journal_magic = "TMJ1"
 let snap_magic = "TMS1"
 let record_tag = 1
+let verdict_tag = 2
 
 let journal_path ~dir ~session =
   Filename.concat dir (Fmt.str "s%d.journal" session)
@@ -121,6 +122,22 @@ let put_opt_index b = function
 let get_opt_index r =
   match Codec.get_uvarint r with 0 -> None | n -> Some (n - 1)
 
+(* A sticky-verdict record: the live monitor's outcome at the moment it
+   flipped, durably in the journal stream.  Event replay alone cannot be
+   trusted to re-derive it — a violation found by the backtracking search
+   under the pre-crash node budget degrades to [`Budget] when the restarted
+   server replays under a smaller one — so the verdict itself is data. *)
+let record_verdict t status violation_index =
+  match t.fd with
+  | None -> invalid_arg "Journal.record_verdict: closed"
+  | Some fd ->
+      let b = Buffer.create 32 in
+      Buffer.add_char b (Char.chr verdict_tag);
+      put_outcome b status;
+      put_opt_index b violation_index;
+      write_string fd (Buffer.contents b);
+      if t.sync then Unix.fsync fd
+
 let put_capsule b (p : Monitor.persisted) =
   put_opt_index b p.Monitor.p_max_nodes;
   Codec.put_events b p.Monitor.p_events;
@@ -172,6 +189,13 @@ let snapshot t p =
   t.base <- applied t;
   t.count <- 0
 
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 (* --- recovery ------------------------------------------------------------ *)
 
 let load_snapshot ~dir ~session =
@@ -194,11 +218,12 @@ let load_snapshot ~dir ~session =
 
 (* Parse the journal greedily, tolerating a torn tail: returns the header
    base (None when the file is empty or headerless — a crash window during
-   reset), the whole records' events, and the byte length of the valid
-   prefix the file should be truncated to. *)
+   reset), the whole records' events, the last sticky-verdict record if
+   any, and the byte length of the valid prefix the file should be
+   truncated to. *)
 let parse_journal data =
   let len = String.length data in
-  if len = 0 then (None, [], 0)
+  if len = 0 then (None, [], None, 0)
   else
     match
       let r = Codec.reader data in
@@ -207,76 +232,146 @@ let parse_journal data =
       let base = Codec.get_uvarint r in
       (base, r)
     with
-    | exception Codec.Error _ -> (None, [], 0)
+    | exception Codec.Error _ -> (None, [], None, 0)
     | base, r ->
         let events = ref [] in
+        let verdict = ref None in
         let valid = ref r.Codec.pos in
         (try
            while not (Codec.at_end r) do
              let tag = Codec.get_byte r in
-             if tag <> record_tag then Codec.fail "unknown record tag %d" tag;
-             let batch = Codec.get_events r in
-             events := List.rev_append batch !events;
+             if tag = record_tag then begin
+               let batch = Codec.get_events r in
+               events := List.rev_append batch !events
+             end
+             else if tag = verdict_tag then begin
+               let status = get_outcome r in
+               let vidx = get_opt_index r in
+               verdict := Some (status, vidx)
+             end
+             else Codec.fail "unknown record tag %d" tag;
              valid := r.Codec.pos
            done
          with Codec.Error _ -> ());
-        (Some base, List.rev !events, !valid)
+        (Some base, List.rev !events, !verdict, !valid)
 
-let recover ?(sync = false) ?max_nodes ~dir ~session () =
+(* Everything recovery needs that does not depend on which monitor will
+   be rebuilt: the snapshot capsule (if any), the journal events to
+   replay on top of it, the last journalled sticky verdict, and the
+   reopened (torn-tail-sheared) journal handle. *)
+let recover_parts ~sync ~dir ~session =
   match load_snapshot ~dir ~session with
   | Error _ as e -> e
-  | Ok snap -> (
-      let snap_applied, monitor_r =
-        match snap with
-        | None -> (0, Ok (Monitor.create ?max_nodes ()))
-        | Some (applied, capsule) -> (applied, Monitor.of_persisted capsule)
+  | Ok snap ->
+      let snap_applied = match snap with None -> 0 | Some (a, _) -> a in
+      let capsule = Option.map snd snap in
+      let path = journal_path ~dir ~session in
+      let base, events, verdict, valid_len =
+        if Sys.file_exists path then parse_journal (read_file path)
+        else (None, [], None, -1)
+      in
+      let base = Option.value base ~default:snap_applied in
+      (* Events at indices [base, snap_applied) are already inside the
+         snapshot (the crash landed mid-reset); replay only the rest. *)
+      let skip = max 0 (snap_applied - base) in
+      let rec drop n = function
+        | rest when n <= 0 -> rest
+        | [] -> []
+        | _ :: rest -> drop (n - 1) rest
+      in
+      let replay = drop skip events in
+      let count = List.length events in
+      let t = { dir; session; sync; fd = None; base; count } in
+      (if valid_len >= String.length journal_magic then begin
+         (* Reopen the surviving journal, shearing any torn tail. *)
+         let fd = open_append path in
+         (try Unix.ftruncate fd valid_len with Unix.Unix_error _ -> ());
+         t.fd <- Some fd
+       end
+       else begin
+         (* Missing or headerless journal: start a fresh file whose
+            base is everything applied so far. *)
+         mkdirs dir;
+         write_file_atomic path (journal_header (applied t));
+         t.base <- applied t;
+         t.count <- 0;
+         t.fd <- Some (open_append path)
+       end);
+      Ok (capsule, replay, verdict, t)
+
+(* A journalled sticky verdict is authoritative: the pre-crash server
+   observed it live.  Replay may fail to re-derive it (e.g. a
+   search-found violation degrades to [`Budget] under a smaller
+   [max_nodes]), so adopt it the way a snapshot capsule would. *)
+let adopt_verdict ~persist ~status = function
+  | Some (((`Violation _ | `Budget _) as st), vidx) when status <> st ->
+      Some { (persist ()) with Monitor.p_status = st; p_violation_index = vidx }
+  | _ -> None
+
+let recover ?(sync = false) ?max_nodes ~dir ~session () =
+  match recover_parts ~sync ~dir ~session with
+  | Error _ as e -> e
+  | Ok (capsule, replay, verdict, t) -> (
+      let monitor_r =
+        match capsule with
+        | None -> Ok (Monitor.create ?max_nodes ())
+        | Some capsule -> Monitor.of_persisted capsule
       in
       match monitor_r with
-      | Error _ as e -> e
+      | Error _ as e ->
+          close t;
+          e
       | Ok monitor ->
-          let path = journal_path ~dir ~session in
-          let base, events, valid_len =
-            if Sys.file_exists path then parse_journal (read_file path)
-            else (None, [], -1)
+          List.iter (fun ev -> ignore (Monitor.push monitor ev)) replay;
+          let monitor =
+            match
+              adopt_verdict
+                ~persist:(fun () -> Monitor.persist monitor)
+                ~status:(Monitor.status monitor) verdict
+            with
+            | Some patched -> (
+                match Monitor.of_persisted patched with
+                | Ok m -> m
+                | Error _ -> monitor)
+            | None -> monitor
           in
-          let base = Option.value base ~default:snap_applied in
-          (* Events at indices [base, snap_applied) are already inside the
-             snapshot (the crash landed mid-reset); replay only the rest. *)
-          let skip = max 0 (snap_applied - base) in
-          let rec drop n = function
-            | rest when n <= 0 -> rest
-            | [] -> []
-            | _ :: rest -> drop (n - 1) rest
-          in
-          List.iter
-            (fun ev -> ignore (Monitor.push monitor ev))
-            (drop skip events);
-          let count = List.length events in
-          let t = { dir; session; sync; fd = None; base; count } in
-          (if valid_len >= String.length journal_magic then begin
-             (* Reopen the surviving journal, shearing any torn tail. *)
-             let fd = open_append path in
-             (try Unix.ftruncate fd valid_len
-              with Unix.Unix_error _ -> ());
-             t.fd <- Some fd
-           end
-           else begin
-             (* Missing or headerless journal: start a fresh file whose
-                base is everything applied so far. *)
-             mkdirs dir;
-             write_file_atomic path (journal_header (applied t));
-             t.base <- applied t;
-             t.count <- 0;
-             t.fd <- Some (open_append path)
-           end);
           Ok (monitor, applied t, t))
 
-let close t =
-  match t.fd with
-  | None -> ()
-  | Some fd ->
-      t.fd <- None;
-      (try Unix.close fd with Unix.Unix_error _ -> ())
+(* The sharded twin: rebuild a {!Tm_checker.Sharded_monitor} from the
+   same capsule format.  The final certify inside [persist]/[of_persisted]
+   settles the replayed stream's verdict, so the caller's [Resumed] frame
+   never reports a provisional [`Ok] over an uncertified suffix. *)
+let recover_sharded ?(sync = false) ?max_nodes ?nshards ?run ~dir ~session ()
+    =
+  match recover_parts ~sync ~dir ~session with
+  | Error _ as e -> e
+  | Ok (capsule, replay, verdict, t) -> (
+      let module Sharded = Tm_checker.Sharded_monitor in
+      let monitor_r =
+        match capsule with
+        | None -> Ok (Sharded.create ?max_nodes ?nshards ?run ())
+        | Some capsule -> Sharded.of_persisted ?nshards ?run capsule
+      in
+      match monitor_r with
+      | Error _ as e ->
+          close t;
+          e
+      | Ok monitor ->
+          List.iter (fun ev -> ignore (Sharded.push monitor ev)) replay;
+          let monitor =
+            match
+              adopt_verdict
+                ~persist:(fun () -> Sharded.persist monitor)
+                ~status:(Sharded.status monitor) verdict
+            with
+            | Some patched -> (
+                match Sharded.of_persisted ?nshards ?run patched with
+                | Ok m -> m
+                | Error _ -> monitor)
+            | None -> monitor
+          in
+          ignore (Sharded.certify monitor);
+          Ok (monitor, applied t, t))
 
 let sessions_on_disk ~dir =
   match Sys.readdir dir with

@@ -5,8 +5,9 @@
 
     - [s<id>.journal] — [TMJ1] magic, then [base:uv] (the session's
       applied-event index when this journal file began), then a sequence
-      of records, each [1:u8] followed by a count-prefixed event batch
-      ({!Codec.put_events}).  Appends are single [write(2)] calls of whole
+      of records: [1:u8] followed by a count-prefixed event batch
+      ({!Codec.put_events}), or [2:u8] followed by a sticky-verdict
+      record ({!record_verdict}).  Appends are single [write(2)] calls of whole
       records, so an in-process crash never interleaves partial records
       from the writer's own buffers; a record torn by the kernel or a
       power cut is detected on load and the file is truncated back to the
@@ -51,6 +52,17 @@ val append : t -> Event.t list -> int
     @raise Unix.Unix_error on write failure (the caller sheds the
     session rather than lying about durability). *)
 
+val record_verdict :
+  t -> Tm_checker.Monitor.outcome -> int option -> unit
+(** Append a sticky-verdict record ([2:u8], outcome, violation index):
+    the monitor's live outcome at the moment it flipped.  Replay alone
+    cannot be trusted to re-derive it — a violation the backtracking
+    search found under the pre-crash node budget degrades to [`Budget]
+    when the restarted server replays under a smaller one — so {!recover}
+    adopts the journalled verdict whenever replay disagrees.  Subsumed by
+    the next {!snapshot} (whose capsule carries the sticky status).
+    @raise Unix.Unix_error on write failure. *)
+
 val snapshot : t -> Tm_checker.Monitor.persisted -> unit
 (** Atomically persist the capsule at the current applied index and reset
     the journal file (its new [base] is the current applied index). *)
@@ -68,6 +80,23 @@ val recover :
     appending.  Returns the monitor, the applied index, and the journal
     handle.  [Error _] on a corrupt snapshot or an unreadable directory —
     never an exception on torn or truncated journal bytes. *)
+
+val recover_sharded :
+  ?sync:bool ->
+  ?max_nodes:int ->
+  ?nshards:int ->
+  ?run:((unit -> unit) array -> unit) ->
+  dir:string ->
+  session:int ->
+  unit ->
+  (Tm_checker.Sharded_monitor.t * int * t, string) result
+(** {!recover} for sharded sessions: the two monitors share the capsule
+    format ({!Tm_checker.Sharded_monitor.persist} emits a
+    {!Tm_checker.Monitor.persisted}), so either can rebuild from either's
+    files — a server restarted with a different [--shards] still recovers
+    every durable session.  The rebuilt stream is certified before
+    returning, so the caller's [Resumed] status is never a provisional
+    [`Ok] over an uncertified suffix. *)
 
 val close : t -> unit
 (** Close the journal fd; the files stay on disk (the session remains

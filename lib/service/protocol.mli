@@ -25,6 +25,14 @@ payload by tag:
   14 Heartbeat      (empty)                            (since v2)
   15 Events_at      session:uv from:uv count:uv event* (since v2)
   16 Shed           session:uv reason:str              (since v2)
+  17 Shards_req     session:uv                         (since v3)
+  18 Shards         session:uv shards:uv certifies:uv
+                    incremental:uv full:uv esc         (since v3)
+
+esc     := 0                         (* never escalated                 *)
+         | 1 why:str                 (* handed to the sequential
+                                        monitor; why explains the
+                                        shard-merge failure             *)
 
 event   := 0 tx:uv var:uv            (* read invocation  R_tx(var)      *)
          | 1 tx:uv var:uv value:sv   (* write invocation W_tx(var,v)    *)
@@ -142,10 +150,27 @@ str     := len:uv byte*
     hostage for longer than the session timeout. *)
 
 val version : int
-(** Current protocol version: 2.  Version 1 peers are fully supported:
-    every v2 frame is new-tagged or backward-compatibly extended, and the
-    server only relies on v2 behaviour (resume, throttling) on
-    connections that negotiated it. *)
+(** Current protocol version: 3.  Version 1 and 2 peers are fully
+    supported: every later frame is new-tagged or backward-compatibly
+    extended, and the server only relies on v2 behaviour (resume,
+    throttling) or v3 behaviour (shard-merge introspection) on
+    connections that negotiated it.
+
+    {1 Sharded sessions (v3)}
+
+    A server started with [--shards n > 1] checks each session with a
+    location-sharded monitor ({!Tm_checker.Sharded_monitor}): events are
+    partitioned by variable across [n] incremental conflict graphs
+    running on a domain pool, and the per-shard certificates are stitched
+    into a global one at every batch, checkpoint, close and resume
+    boundary — so [Verdict] frames mean exactly what they mean on an
+    unsharded server.  A stream the shards cannot certify is silently
+    handed to the sequential monitor (same verdicts, no longer parallel).
+    [Shards_req] asks for a session's shard-merge counters and is
+    answered with [Shards]: the shard count, how many two-phase
+    certifications ran, how many validated on the incremental
+    (frontier-extension) fast path versus a full revalidation, and — if
+    the session escalated — why. *)
 
 val hello_magic : string
 
@@ -209,6 +234,15 @@ type domain_stats = {
   nodes : int;
 }
 
+type shard_stats = {
+  shards : int;  (** shard count of the session's monitor *)
+  certifies : int;  (** two-phase certifications run so far *)
+  incremental : int;  (** certifies validated on the frontier fast path *)
+  full : int;  (** certifies that revalidated the whole stitched order *)
+  escalated : string option;
+      (** why the session was handed to the sequential monitor, if it was *)
+}
+
 type frame =
   | Hello of { version : int }
   | Open_session of { session : int }
@@ -233,6 +267,10 @@ type frame =
       (** idempotent events: the first event carries index [from] (v2) *)
   | Shed of { session : int; reason : string }
       (** the session was shed; later events are discarded (v2) *)
+  | Shards_req of { session : int }
+      (** ask for the session's shard-merge counters (v3) *)
+  | Shards of { session : int; stats : shard_stats }
+      (** reply: how the two-phase certify/stitch protocol is doing (v3) *)
 
 val verdict :
   ?mode:mode -> ?applied:int -> session:int -> token:int -> events:int ->

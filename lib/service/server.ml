@@ -1,8 +1,10 @@
 module Monitor = Tm_checker.Monitor
+module Sharded = Tm_checker.Sharded_monitor
 
 type config = {
   addr : Wire.addr;
   domains : int;
+  shards : int;  (* per-session monitor shards; 1 = single conflict graph *)
   max_nodes : int option;
   queue_capacity : int;
   journal_dir : string option;
@@ -19,13 +21,16 @@ type config = {
   log : string -> unit;
 }
 
-let config ?(domains = 4) ?max_nodes ?(queue_capacity = 64) ?journal_dir
+let config ?(domains = 4) ?(shards = 1) ?max_nodes ?(queue_capacity = 64)
+    ?journal_dir
     ?(journal_sync = false)
     ?(session_timeout = Protocol.default_session_timeout)
     ?(heartbeat = Protocol.default_heartbeat) ?(max_conns = 1024)
     ?(max_sessions = 8192) ?hwm ?(throttle_sample = 4) ?(throttle_shed = 16)
     ?(retry_after_ms = 50) ?(snapshot_every = 50_000) ?(log = ignore) addr =
   if domains <= 0 then invalid_arg "Server.config: domains must be positive";
+  if shards < 1 || shards > 62 then
+    invalid_arg "Server.config: shards must be within [1, 62]";
   if session_timeout <= 0.0 then
     invalid_arg "Server.config: session_timeout must be positive";
   let hwm =
@@ -34,6 +39,7 @@ let config ?(domains = 4) ?max_nodes ?(queue_capacity = 64) ?journal_dir
   {
     addr;
     domains;
+    shards;
     max_nodes;
     queue_capacity;
     journal_dir;
@@ -95,7 +101,7 @@ type conn = {
 and session = {
   client_sid : int;
   mutable sconn : conn;
-  mutable monitor : Monitor.t;  (* replaced once, on crash recovery *)
+  mutable monitor : Sharded.t;  (* replaced once, on crash recovery *)
   shard : int;
   mutable last : Monitor.snapshot;  (* last snapshot folded into dstats *)
   mutable applied : int;  (* events durably applied (journalled + pushed) *)
@@ -122,6 +128,7 @@ type work =
   | W_attach of session  (* answer [Resumed] after a reattach *)
   | W_recover of session  (* rebuild from disk, then answer [Resumed] *)
   | W_expire of session  (* orphan timed out: delete and retire *)
+  | W_shards of session  (* answer [Shards] with stitch counters (v3) *)
   | W_quit
 
 type t = {
@@ -138,6 +145,7 @@ type t = {
   mutable accept_thread : Thread.t option;
   mutable sweeper : Thread.t option;  (* orphan expiry, durable mode only *)
   mutable workers : unit Domain.t array;
+  pool : Shard_pool.t option;  (* certify executor when [shards > 1] *)
   next_conn : int Atomic.t;
   next_session : int Atomic.t;
   durables : (int, session) Hashtbl.t;  (* durable mode: global registry *)
@@ -164,8 +172,8 @@ let status_of_outcome : Monitor.outcome -> Protocol.status = function
   | `Budget why -> Protocol.S_budget why
 
 let verdict_frame s ~token =
-  let events = Monitor.events_seen s.monitor in
-  let status = status_of_outcome (Monitor.status s.monitor) in
+  let events = Sharded.events_seen s.monitor in
+  let status = status_of_outcome (Sharded.status s.monitor) in
   if s.sconn.version >= 2 then
     Protocol.verdict ~mode:s.dmode ~applied:s.applied ~session:s.client_sid
       ~token ~events status
@@ -180,7 +188,7 @@ let resumed_frame s =
       session = s.client_sid;
       applied = s.applied;
       mode = s.dmode;
-      status = status_of_outcome (Monitor.status s.monitor);
+      status = status_of_outcome (Sharded.status s.monitor);
     }
 
 (* --- shard workers -------------------------------------------------------- *)
@@ -190,7 +198,7 @@ let resumed_frame s =
    pending gauge, which used to recount [History.infos] per call and made
    accounting quadratic over a session's stream. *)
 let account d s =
-  let snap = Monitor.snapshot s.monitor in
+  let snap = Sharded.snapshot s.monitor in
   let add a n = if n <> 0 then ignore (Atomic.fetch_and_add a n) in
   add d.d_events (snap.Monitor.events - s.last.Monitor.events);
   add d.d_responses (snap.Monitor.responses - s.last.Monitor.responses);
@@ -221,11 +229,40 @@ let retire ?(delete = false) srv d s =
   end
 
 let snapshot_quiet srv s j =
-  try Journal.snapshot j (Monitor.persist s.monitor)
+  try Journal.snapshot j (Sharded.persist s.monitor)
   with Unix.Unix_error (e, _, _) ->
     srv.cfg.log
       (Fmt.str "session %d: snapshot failed (%s)" s.client_sid
          (Unix.error_message e))
+
+(* The batch that flips a session's sticky verdict journals the verdict
+   itself: replay on recovery cannot be trusted to re-derive it (a
+   search-found violation degrades to [`Budget] under a smaller node
+   budget), and silently downgrading a pre-crash violation would defeat
+   the whole point of monitoring. *)
+let record_verdict_quiet srv s j =
+  try
+    Journal.record_verdict j (Sharded.status s.monitor)
+      (Sharded.violation_index s.monitor)
+  with Unix.Unix_error (e, _, _) ->
+    srv.cfg.log
+      (Fmt.str "session %d: verdict record failed (%s)" s.client_sid
+         (Unix.error_message e))
+
+(* Durable sessions certify at every admitted batch, so the batch that
+   flips the sticky verdict journals it exactly as the sequential
+   monitor's push used to — kill-at-violation recovery depends on that.
+   Non-durable sessions skip the per-batch stitch: nothing reads their
+   status between batches, and checkpoint, close and resume certify
+   before building a verdict frame, so a verdict is always backed by a
+   stitched (or escalated) certificate either way. *)
+let certify_record srv s ~was_ok =
+  match s.journal with
+  | Some j ->
+      ignore (Sharded.certify s.monitor);
+      if was_ok && Sharded.status s.monitor <> `Ok then
+        record_verdict_quiet srv s j
+  | None -> ()
 
 let worker srv i () =
   let mailbox = srv.mailboxes.(i) in
@@ -303,9 +340,11 @@ let worker srv i () =
                           false)
                 in
                 if admitted then begin
+                  let was_ok = Sharded.status s.monitor = `Ok in
                   List.iter
-                    (fun ev -> ignore (Monitor.push s.monitor ev))
+                    (fun ev -> ignore (Sharded.push s.monitor ev))
                     events;
+                  certify_record srv s ~was_ok;
                   account d s;
                   match s.journal with
                   | Some j
@@ -318,6 +357,7 @@ let worker srv i () =
           loop ()
       | W_checkpoint (s, token) ->
           account d s;
+          ignore (Sharded.certify s.monitor);
           (match s.journal with
           | Some j -> snapshot_quiet srv s j
           | None -> ());
@@ -325,6 +365,7 @@ let worker srv i () =
           loop ()
       | W_close s ->
           account d s;
+          ignore (Sharded.certify s.monitor);
           let final = verdict_frame s ~token:0 in
           (* Counters and durable state settle before the final verdict: a
              client holding its close verdict must not observe the session
@@ -345,19 +386,37 @@ let worker srv i () =
              [applied] has settled by the time we acknowledge it. *)
           send_frame s.sconn (resumed_frame s);
           loop ()
+      | W_shards s ->
+          let st = Sharded.stitch_stats s.monitor in
+          send_frame s.sconn
+            (Protocol.Shards
+               {
+                 session = s.client_sid;
+                 stats =
+                   {
+                     Protocol.shards = st.Sharded.shards;
+                     certifies = st.Sharded.certifies;
+                     incremental = st.Sharded.incremental;
+                     full = st.Sharded.full;
+                     escalated = st.Sharded.escalated;
+                   };
+               });
+          loop ()
       | W_recover s ->
           (match srv.cfg.journal_dir with
           | None -> ()
           | Some dir -> (
               match
-                Journal.recover ~sync:srv.cfg.journal_sync
-                  ?max_nodes:srv.cfg.max_nodes ~dir ~session:s.client_sid ()
+                Journal.recover_sharded ~sync:srv.cfg.journal_sync
+                  ?max_nodes:srv.cfg.max_nodes ~nshards:srv.cfg.shards
+                  ?run:(Option.map Shard_pool.run srv.pool)
+                  ~dir ~session:s.client_sid ()
               with
               | Ok (m, applied, j) ->
                   s.monitor <- m;
                   (* Pre-crash monitor work stays accounted to the process
                      that did it; only post-recovery deltas hit dstats. *)
-                  s.last <- Monitor.snapshot m;
+                  s.last <- Sharded.snapshot m;
                   s.applied <- applied;
                   s.journal <- Some j;
                   send_frame s.sconn (resumed_frame s)
@@ -422,13 +481,16 @@ let handshake conn =
 let new_session srv conn sid =
   let key = Atomic.fetch_and_add srv.next_session 1 in
   let shard = key mod srv.cfg.domains in
-  let monitor = Monitor.create ?max_nodes:srv.cfg.max_nodes () in
+  let monitor =
+    Sharded.create ?max_nodes:srv.cfg.max_nodes ~nshards:srv.cfg.shards
+      ?run:(Option.map Shard_pool.run srv.pool) ()
+  in
   {
     client_sid = sid;
     sconn = conn;
     monitor;
     shard;
-    last = Monitor.snapshot monitor;
+    last = Sharded.snapshot monitor;
     applied = 0;
     journal = None;
     dmode = Protocol.M_full;
@@ -639,10 +701,14 @@ let serve_frames srv conn =
                 err conn Protocol.Unknown_session
                   (Fmt.str "no open session %d on this connection" session))
         | Protocol.Stats_req -> send_frame conn (stats_frame srv)
+        | Protocol.Shards_req { session } ->
+            if conn.version < 3 then
+              err conn Protocol.Bad_frame "Shards_req requires protocol v3"
+            else with_session srv conn session (fun s -> W_shards s)
         | Protocol.Goodbye -> continue := false
         | Protocol.Hello _ | Protocol.Verdict _ | Protocol.Stats _
         | Protocol.Err _ | Protocol.Resumed _ | Protocol.Throttle _
-        | Protocol.Shed _ ->
+        | Protocol.Shed _ | Protocol.Shards _ ->
             err conn Protocol.Bad_frame
               (Fmt.str "unexpected frame %a" Protocol.pp_frame frame))
     | Wire.Malformed msg ->
@@ -816,6 +882,12 @@ let start cfg =
       accept_thread = None;
       sweeper = None;
       workers = [||];
+      pool =
+        (* Each worker domain contributes itself to its session's certify,
+           so the pool only needs [shards - 1] extra domains. *)
+        (if cfg.shards > 1 then
+           Some (Shard_pool.create ~domains:(cfg.shards - 1))
+         else None);
       next_conn = Atomic.make 1;
       next_session = Atomic.make 1;
       durables = Hashtbl.create 16;
@@ -857,6 +929,7 @@ let stop ?(drain = true) srv =
     (match srv.sweeper with Some t -> Thread.join t | None -> ());
     Array.iter (fun mb -> Mailbox.put mb W_quit) srv.mailboxes;
     Array.iter Domain.join srv.workers;
+    (match srv.pool with Some p -> Shard_pool.stop p | None -> ());
     (* Close surviving durable journals (fds) — the files stay on disk, so
        every orphaned or still-open session remains recoverable by the
        next server on the same journal directory. *)

@@ -43,7 +43,14 @@
 
 type config = {
   addr : Wire.addr;
-  domains : int;  (** shard pool size (OCaml domains) *)
+  domains : int;  (** session worker pool size (OCaml domains) *)
+  shards : int;
+      (** monitor shards per session ({!Tm_checker.Sharded_monitor});
+          [1] = a single sequential conflict graph.  A server with
+          [shards > 1] keeps a dedicated certify pool of [shards - 1]
+          extra domains that every session's two-phase certify fans
+          out over (the session's own worker domain runs the first
+          shard job). *)
   max_nodes : int option;  (** per-response search budget, per monitor *)
   queue_capacity : int;  (** mailbox bound per shard (work items) *)
   journal_dir : string option;
@@ -67,6 +74,7 @@ type config = {
 
 val config :
   ?domains:int ->
+  ?shards:int ->
   ?max_nodes:int ->
   ?queue_capacity:int ->
   ?journal_dir:string ->
@@ -83,7 +91,8 @@ val config :
   ?log:(string -> unit) ->
   Wire.addr ->
   config
-(** Defaults: 4 domains, no search budget, 64-item queues, not durable,
+(** Defaults: 4 domains, 1 shard per session, no search budget, 64-item
+    queues, not durable,
     no fsync, {!Protocol.default_session_timeout} /
     {!Protocol.default_heartbeat}, 1024 connections, 8192 sessions,
     [hwm = queue_capacity / 2], sampling after 4 and shedding after 16

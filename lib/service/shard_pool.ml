@@ -1,0 +1,94 @@
+(* A fixed pool of OCaml 5 domains running batches of independent jobs —
+   the executor behind sharded sessions' certify phase.  Jobs touch
+   disjoint shard state and never block on the pool, so a bounded pool
+   cannot deadlock: workers always drain the queue, and a zero-width pool
+   runs every batch inline in the caller. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (* wakes idle workers *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.cond t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping *)
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 0 then invalid_arg "Shard_pool.create: negative domains";
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init domains (fun _ -> Domain.spawn (worker t));
+  t
+
+let width t = Array.length t.domains
+
+(* Run every job exactly once and return when all have finished.  The
+   caller contributes its own domain (job 0), so a pool of [w] domains
+   gives a batch up to [w + 1]-way parallelism; exceptions propagate to
+   the caller once the whole batch has finished (first one wins). *)
+let run t jobs =
+  let n = Array.length jobs in
+  if n = 1 then jobs.(0) ()
+  else if n > 1 then
+    if Array.length t.domains = 0 then Array.iter (fun job -> job ()) jobs
+    else begin
+      let bm = Mutex.create () in
+      let bc = Condition.create () in
+      let left = ref n in
+      let first_exn = ref None in
+      let execute job () =
+        (try job ()
+         with e ->
+           Mutex.lock bm;
+           if !first_exn = None then first_exn := Some e;
+           Mutex.unlock bm);
+        Mutex.lock bm;
+        decr left;
+        if !left = 0 then Condition.broadcast bc;
+        Mutex.unlock bm
+      in
+      Mutex.lock t.mutex;
+      for i = 1 to n - 1 do
+        Queue.push (execute jobs.(i)) t.queue
+      done;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      execute jobs.(0) ();
+      Mutex.lock bm;
+      while !left > 0 do
+        Condition.wait bc bm
+      done;
+      let e = !first_exn in
+      Mutex.unlock bm;
+      match e with Some e -> raise e | None -> ()
+    end
+
+let stop t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]

@@ -1,0 +1,27 @@
+(** A fixed pool of OCaml 5 domains executing batches of independent
+    jobs: the executor behind sharded sessions
+    ({!Tm_checker.Sharded_monitor}'s [run] parameter).
+
+    Jobs in a batch operate on disjoint state and never block on the
+    pool, so progress is unconditional: workers always drain the queue,
+    concurrent batches from different sessions simply interleave, and a
+    zero-width pool degrades to inline execution in the caller. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] worker domains ([0] is legal: every batch
+    then runs inline in its caller). *)
+
+val width : t -> int
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute every job exactly once and return when all have finished.
+    The caller runs one job on its own domain, so a batch enjoys up to
+    [width + 1]-way parallelism.  If jobs raise, the first exception is
+    re-raised here — after the whole batch has settled, so no job is
+    still touching shard state when the caller unwinds. *)
+
+val stop : t -> unit
+(** Drain outstanding work and join the worker domains.  Do not call
+    {!run} concurrently with, or after, [stop]. *)

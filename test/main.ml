@@ -24,4 +24,5 @@ let () =
     @ Test_si.suite
     @ Test_codec.suite
     @ Test_service.suite
-    @ Test_recovery.suite)
+    @ Test_recovery.suite
+    @ Test_sharded.suite)

@@ -270,6 +270,66 @@ let prop_frame_fuzz =
       let s = mutate (Protocol.to_string f) muts in
       match Protocol.decode s with Ok _ | Error _ -> true)
 
+(* --- batched decode ≡ per-event decode ----------------------------------- *)
+
+(* [get_events] decodes a whole batch in one pass with hoisted bounds
+   checks; this is the reference it must match bit for bit — the public
+   per-event decoder driven by the same count prefix.  Same events, same
+   final position, same error message, over valid encodings, mutated
+   bytes, strict prefixes and garbage alike. *)
+
+let reference_get_events r =
+  let n = Codec.get_uvarint r in
+  if n > Codec.remaining r then
+    Codec.fail "event count %d exceeds remaining payload" n;
+  List.init n (fun _ -> Codec.get_event r)
+
+let batch_equals_reference s =
+  let run f =
+    let r = Codec.reader s in
+    match f r with
+    | evs -> Ok (evs, r.Codec.pos)
+    | exception Codec.Error m -> Error m
+  in
+  match (run Codec.get_events, run reference_get_events) with
+  | Ok (e1, p1), Ok (e2, p2) -> List.equal Event.equal e1 e2 && p1 = p2
+  | Error m1, Error m2 -> String.equal m1 m2
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let encode_events events =
+  let b = Buffer.create 256 in
+  Codec.put_events b events;
+  Buffer.contents b
+
+let prop_batch_decode_valid =
+  qtest ~count:1000 "codec: batch decode = per-event decode on encodings"
+    (arb_history ()) (fun h ->
+      batch_equals_reference (encode_events (History.to_list h)))
+
+let prop_batch_decode_fuzz =
+  qtest ~count:1000 "codec: batch decode = per-event decode under mutation"
+    QCheck2.Gen.(pair (arb_history ()) gen_mutations)
+    (fun (h, muts) ->
+      batch_equals_reference (mutate (encode_events (History.to_list h)) muts))
+
+let prop_batch_decode_garbage =
+  qtest ~count:1000 "codec: batch decode = per-event decode on garbage"
+    QCheck2.Gen.(string_size ~gen:(0 -- 255 |> map Char.chr) (0 -- 96))
+    batch_equals_reference
+
+let batch_decode_prefixes () =
+  (* Every strict prefix of a long valid batch: exercises the slack-window
+     fallback at every possible distance from the frame boundary. *)
+  List.iter
+    (fun (e : Figures.expectation) ->
+      let s = encode_events (History.to_list e.history) in
+      for len = 0 to String.length s do
+        if not (batch_equals_reference (String.sub s 0 len)) then
+          Alcotest.failf "%s: batch/per-event divergence at prefix %d" e.name
+            len
+      done)
+    Figures.catalog
+
 let prop_garbage =
   qtest ~count:1000 "protocol: arbitrary bytes never crash the decoder"
     QCheck2.Gen.(string_size ~gen:(0 -- 255 |> map Char.chr) (0 -- 64))
@@ -293,6 +353,11 @@ let suite =
         prop_events_roundtrip;
         prop_history_roundtrip;
         prop_history_fuzz;
+        test "batch decode = per-event decode on every strict prefix"
+          batch_decode_prefixes;
+        prop_batch_decode_valid;
+        prop_batch_decode_fuzz;
+        prop_batch_decode_garbage;
       ] );
     ( "protocol",
       [ prop_frame_roundtrip; prop_frame_fuzz; prop_garbage ] );

@@ -53,13 +53,13 @@ let with_dir f =
   Unix.mkdir dir 0o755;
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
-let with_durable_server ?session_timeout ?hwm ?throttle_sample ?throttle_shed f
-    =
+let with_durable_server ?shards ?session_timeout ?hwm ?throttle_sample
+    ?throttle_shed f =
   with_dir (fun dir ->
       let addr = `Unix (Filename.concat dir "sock") in
       let journal_dir = Filename.concat dir "journal" in
       let cfg =
-        Server.config ~domains:2 ~journal_dir ?session_timeout ?hwm
+        Server.config ~domains:2 ?shards ~journal_dir ?session_timeout ?hwm
           ?throttle_sample ?throttle_shed addr
       in
       let srv = ref (Server.start cfg) in
@@ -189,6 +189,104 @@ let test_kill_and_recover_verdict_parity () =
           Client.close c2;
           (try Client.close c with Unix.Unix_error _ -> ())))
     Figures.catalog
+
+let test_sharded_crash_shard_count_change () =
+  (* The two monitors share the capsule format, so a server restarted with
+     a different --shards must still recover every durable session.  Crash
+     a 4-shard server mid-stream and restart it sequential (and vice
+     versa): resumed verdicts stay byte-for-byte the uninterrupted ones. *)
+  List.iter
+    (fun (shards_before, shards_after) ->
+      List.iter
+        (fun (h : Figures.expectation) ->
+          with_durable_server ~shards:shards_before (fun srv cfg addr ->
+              let events = History.to_list h.history in
+              let n = List.length events in
+              let half, rest = split_at (max 1 (n / 2)) events in
+              let c = connect addr in
+              Client.open_session c 1;
+              Client.send_events_at c 1 ~from:0 half;
+              ignore (Client.checkpoint c 1);
+              Server.crash !srv;
+              srv := Server.start { cfg with Server.shards = shards_after };
+              let c2 = connect addr in
+              let applied, _mode, _status = resume_eventually c2 1 ~from:0 in
+              Alcotest.(check int)
+                (Fmt.str "%s: journalled prefix survived (%d->%d shards)"
+                   h.name shards_before shards_after)
+                (List.length half) applied;
+              Client.send_events_at c2 1 ~from:applied rest;
+              let v = Client.close_session c2 1 in
+              Alcotest.check status
+                (Fmt.str "%s: verdict across shard-count change (%d->%d)"
+                   h.name shards_before shards_after)
+                (offline_status h.history) v.Protocol.status;
+              Client.close c2;
+              (try Client.close c with Unix.Unix_error _ -> ())))
+        Figures.catalog)
+    [ (4, 1); (1, 4) ]
+
+let test_verdict_survives_budget_change () =
+  (* The sticky-verdict record, end to end: Finding 3's counterexample
+     trips the monitor via the backtracking search (never the fast path or
+     the graph), so its [`Violation] is exactly the verdict a replay under
+     a starved node budget cannot re-derive.  Crash after the flip but
+     before any checkpoint — the journal holds only raw events plus the
+     verdict record — then restart the server with [max_nodes = 1].  On
+     code that merely replays events, recovery degrades the pre-crash
+     violation to [`Budget]; the journalled verdict must keep it honest. *)
+  with_dir (fun dir ->
+      let addr = `Unix (Filename.concat dir "sock") in
+      let journal_dir = Filename.concat dir "journal" in
+      let h, vidx = Tm_figures.Findings.corollary2_gap in
+      let events = History.to_list h in
+      let n = List.length events in
+      let expected = offline_status h in
+      (match expected with
+      | Protocol.S_violation _ -> ()
+      | s ->
+          Alcotest.failf "fixture must violate, got %a" Protocol.pp_status s);
+      let srv = ref (Server.start (Server.config ~domains:2 ~journal_dir addr)) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop !srv)
+        (fun () ->
+          let c = connect addr in
+          Client.open_session c 1;
+          Client.send_events_at c 1 ~from:0 events;
+          (* Wait for the worker to journal and push the batch — via stats,
+             NOT a checkpoint: a checkpoint snapshots the monitor capsule
+             (sticky status included), which would mask the bug.  The
+             monitor stops counting at the violating prefix, so wait on
+             that index rather than the stream length. *)
+          let seen () =
+            List.fold_left
+              (fun acc d -> acc + d.Protocol.events)
+              0 (Client.stats c)
+          in
+          let rec wait tries =
+            if seen () < vidx && tries > 0 then begin
+              Thread.delay 0.01;
+              wait (tries - 1)
+            end
+          in
+          wait 500;
+          Alcotest.(check bool) "monitor reached the violating prefix" true
+            (seen () >= vidx);
+          Server.crash !srv;
+          srv :=
+            Server.start
+              (Server.config ~domains:2 ~max_nodes:1 ~journal_dir addr);
+          let c2 = connect addr in
+          let applied, _mode, st = resume_eventually c2 1 ~from:0 in
+          Alcotest.(check int) "journalled stream survived the crash" n
+            applied;
+          Alcotest.check status "resumed status is the pre-crash violation"
+            expected st;
+          let v = Client.close_session c2 1 in
+          Alcotest.check status "recovered verdict is the pre-crash violation"
+            expected v.Protocol.status;
+          Client.close c2;
+          (try Client.close c with Unix.Unix_error _ -> ())))
 
 let test_orphan_reattach () =
   with_durable_server (fun _srv _cfg addr ->
@@ -364,6 +462,10 @@ let suite =
       [
         slow "server crash: recovered verdicts equal uninterrupted"
           test_kill_and_recover_verdict_parity;
+        slow "sharded crash: recovery across a shard-count change"
+          test_sharded_crash_shard_count_change;
+        test "kill at violation: verdict survives a budget change"
+          test_verdict_survives_budget_change;
         test "orphaned session reattaches" test_orphan_reattach;
         test "duplicated and gapped frames never double-apply"
           test_resume_is_idempotent_dedup;

@@ -16,9 +16,9 @@ let status = Alcotest.testable Protocol.pp_status ( = )
    ever stops answering. *)
 let guard fd = Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.
 
-let with_server ?(domains = 2) f =
+let with_server ?(domains = 2) ?(shards = 1) f =
   let srv =
-    Server.start (Server.config ~domains (`Tcp ("127.0.0.1", 0)))
+    Server.start (Server.config ~domains ~shards (`Tcp ("127.0.0.1", 0)))
   in
   Fun.protect
     ~finally:(fun () -> Server.stop srv)
@@ -282,6 +282,111 @@ let test_stats () =
         events;
       Client.close c)
 
+(* --- sharded sessions (v3) ------------------------------------------------- *)
+
+(* A --shards 4 server must hand out the same verdicts as the sequential
+   one: per-session streams flow through the two-phase certify/stitch
+   monitor, and the paper figures exercise both its certifying and its
+   escalating paths (fig2's duplicate written values poison a shard). *)
+let test_sharded_verdicts () =
+  with_server ~shards:4 (fun _srv addr ->
+      let c = connect addr in
+      List.iteri
+        (fun i (e : Figures.expectation) ->
+          let v = Client.submit ~session:(i + 1) c e.history in
+          Alcotest.check status
+            (Fmt.str "%s status (4 shards)" e.name)
+            (offline_status e.history) v.Protocol.status)
+        Figures.catalog;
+      List.iteri
+        (fun i seed ->
+          let h = norec_fault_history ~seed in
+          let v = Client.submit ~session:(100 + i) c h in
+          Alcotest.check status
+            (Fmt.str "norec-fault seed %d (4 shards)" seed)
+            (offline_status h) v.Protocol.status)
+        [ 7; 21; 42 ];
+      Client.close c)
+
+let test_shard_stats () =
+  with_server ~shards:4 (fun _srv addr ->
+      let c = connect addr in
+      Alcotest.(check int) "negotiated v3" 3 (Client.version c);
+      (* fig6 has unique written values: the shards certify it without
+         escalating, so every certify lands on a validation path *)
+      Client.open_session c 1;
+      Client.send_events c 1 (History.to_list Figures.fig6);
+      ignore (Client.checkpoint c 1);
+      let st = Client.shard_stats c 1 in
+      Alcotest.(check int) "shard count" 4 st.Protocol.shards;
+      Alcotest.(check bool) "certified at least once" true
+        (st.Protocol.certifies > 0);
+      Alcotest.(check bool) "never escalated" true (st.Protocol.escalated = None);
+      Alcotest.(check int) "every certify accounted"
+        st.Protocol.certifies
+        (st.Protocol.incremental + st.Protocol.full);
+      ignore (Client.close_session c 1);
+      (* fig1 writes the same value twice: the owning shard poisons and the
+         session is handed to the sequential monitor, with the reason
+         travelling in the counters frame *)
+      Client.open_session c 2;
+      Client.send_events c 2 (History.to_list Figures.fig1);
+      ignore (Client.checkpoint c 2);
+      let st = Client.shard_stats c 2 in
+      Alcotest.(check bool) "escalation reason reported" true
+        (st.Protocol.escalated <> None);
+      ignore (Client.close_session c 2);
+      (* counters for an unknown session are an error, not a hang *)
+      (match Client.shard_stats c 99 with
+      | _ -> Alcotest.fail "shard_stats on unopened session must fail"
+      | exception Client.Server_error _ -> ());
+      Client.close c)
+
+let test_shard_stats_gated () =
+  with_server ~shards:2 (fun _srv addr ->
+      let c = Client.connect ~version:2 addr in
+      guard (Client.fd c);
+      Alcotest.(check int) "negotiated v2" 2 (Client.version c);
+      Client.open_session c 1;
+      (match Client.shard_stats c 1 with
+      | _ -> Alcotest.fail "Shards_req must be refused on a v2 connection"
+      | exception Client.Server_error _ -> ());
+      (* the refusal did not poison the connection *)
+      Client.send_events c 1 (History.to_list Figures.fig1);
+      let v = Client.close_session c 1 in
+      Alcotest.check status "verdict after refusal"
+        (offline_status Figures.fig1) v.Protocol.status;
+      Client.close c)
+
+(* Concurrency: many connections against a sharded server share one
+   certify pool; verdicts must stay exact and gauges settle. *)
+let test_sharded_concurrent () =
+  with_server ~domains:4 ~shards:4 (fun srv addr ->
+      let expected =
+        List.map
+          (fun (e : Figures.expectation) -> (e.history, offline_status e.history))
+          Figures.catalog
+      in
+      let mismatches = Atomic.make 0 in
+      let worker () =
+        let c = connect addr in
+        List.iteri
+          (fun i (h, expect) ->
+            let v = Client.submit ~session:(i + 1) c h in
+            if v.Protocol.status <> expect then Atomic.incr mismatches)
+          expected;
+        Client.close c
+      in
+      let threads = List.init 6 (fun _ -> Thread.create worker ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no mismatches" 0 (Atomic.get mismatches);
+      let live =
+        List.fold_left
+          (fun a (d : Protocol.domain_stats) -> a + d.live_sessions)
+          0 (Server.stats srv)
+      in
+      Alcotest.(check int) "no sessions left live" 0 live)
+
 let suite =
   [
     ( "service: verdicts",
@@ -302,5 +407,15 @@ let suite =
         test "handshake is mandatory" test_handshake_required;
         test "unknown and duplicate sessions reported" test_session_errors;
         test "stats count every shard" test_stats;
+      ] );
+    ( "service: sharded sessions",
+      [
+        test "--shards 4 verdicts match the offline checker"
+          test_sharded_verdicts;
+        test "Shards_req reports certify/stitch counters" test_shard_stats;
+        test "Shards_req is v3-gated, refusal is survivable"
+          test_shard_stats_gated;
+        slow "6 connections x 7 sessions on a shared certify pool"
+          test_sharded_concurrent;
       ] );
   ]

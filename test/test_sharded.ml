@@ -1,0 +1,210 @@
+(* The location-sharded monitor against the sequential monitor: verdict and
+   first-violating-prefix parity across shard counts over every soak
+   source, the Finding-3 prefix trap (certifying the current history must
+   not resurrect a dead prefix), checkpoint capsules, a genuinely parallel
+   executor, and escalation transparency on ill-formed streams. *)
+
+open Tm_safety
+open Helpers
+
+let max_nodes = 500_000
+
+let soak_sources : Oracle.source list =
+  [
+    `Gen; `Stm "tl2"; `Stm "norec"; `Stm "pessimistic"; `Faults "tl2";
+    `Faults "norec";
+  ]
+
+let gen_soak_history =
+  QCheck2.Gen.map
+    (fun (i, seed) ->
+      Oracle.produce (List.nth soak_sources (i mod List.length soak_sources))
+        ~seed)
+    QCheck2.Gen.(pair (int_range 0 5) (int_range 0 100_000))
+
+(* Feed [events] through a sharded monitor, certifying every [period]
+   events (exercising the frontier-incremental stitch) and once at the
+   end (settling the verdict). *)
+let drive ?run ~nshards ~period events =
+  let s = Sharded_monitor.create ~max_nodes ~nshards ?run () in
+  List.iteri
+    (fun i ev ->
+      ignore (Sharded_monitor.push s ev);
+      if (i + 1) mod period = 0 then ignore (Sharded_monitor.certify s))
+    events;
+  let st = Sharded_monitor.certify s in
+  (s, st)
+
+(* Exact-parity oracle: after escalation the sharded monitor {e is} a
+   monitor replaying the same accepted events, so any outcome difference
+   is a bug — except "monitor ran out of budget, sharded certified
+   without ever searching", which is the sharded path working as
+   designed. *)
+let agrees name (mstat, midx) (sstat, sidx) =
+  match mstat, sstat with
+  | `Ok, `Ok | `Budget _, (`Budget _ | `Ok) -> true
+  | `Violation _, `Violation _ ->
+      midx = sidx
+      || QCheck2.Test.fail_reportf
+           "%s: first violating prefix differs: monitor=%a sharded=%a" name
+           Fmt.(option ~none:(any "-") int)
+           midx
+           Fmt.(option ~none:(any "-") int)
+           sidx
+  | _ ->
+      let show = function
+        | `Ok -> "ok"
+        | `Violation w -> "violation (" ^ w ^ ")"
+        | `Budget w -> "budget (" ^ w ^ ")"
+      in
+      QCheck2.Test.fail_reportf "%s: monitor=%s sharded=%s" name (show mstat)
+        (show sstat)
+
+let monitor_outcome events =
+  let m = Monitor.create ~max_nodes () in
+  ignore (Monitor.push_all m events);
+  (Monitor.status m, Monitor.violation_index m)
+
+(* --- the shard-count sweep ----------------------------------------------- *)
+
+let prop_shard_sweep =
+  qtest ~count:250 "Sharded_monitor ≡ Monitor for 1/2/4/8 shards"
+    QCheck2.Gen.(pair gen_soak_history (int_range 1 8))
+    (fun (h, stride) ->
+      let events = History.to_list h in
+      let reference = monitor_outcome events in
+      List.for_all
+        (fun nshards ->
+          let s, st = drive ~nshards ~period:(stride * 5) events in
+          agrees
+            (Fmt.str "%d shards, certify period %d" nshards (stride * 5))
+            reference
+            (st, Sharded_monitor.violation_index s))
+        [ 1; 2; 4; 8 ])
+
+(* The incremental stitch must actually engage on clean streams — if every
+   certify fell back to the full validation, the fast path is dead code
+   and the service would revalidate quadratically. *)
+let prop_incremental_engages =
+  qtest ~count:100 "frequent certifies hit the incremental stitch"
+    gen_soak_history
+    (fun h ->
+      let s, _ = drive ~nshards:4 ~period:3 (History.to_list h) in
+      let st = Sharded_monitor.stitch_stats s in
+      st.Sharded_monitor.escalated <> None
+      || st.Sharded_monitor.certifies < 4
+      || st.Sharded_monitor.incremental > 0)
+
+(* --- Finding 3: a certified present must not absolve a dead prefix ------- *)
+
+let test_corollary2_gap () =
+  let h, vidx = Tm_figures.Findings.corollary2_gap in
+  let events = History.to_list h in
+  let mstat, midx = monitor_outcome events in
+  Alcotest.(check (option int)) "monitor blames the gap prefix" (Some vidx)
+    midx;
+  List.iter
+    (fun nshards ->
+      let s, st = drive ~nshards ~period:4 events in
+      (match mstat, st with
+      | `Violation _, `Violation _ -> ()
+      | _ -> Alcotest.failf "%d shards: expected a sticky violation" nshards);
+      Alcotest.(check (option int))
+        (Fmt.str "%d shards: first violating prefix" nshards)
+        (Some vidx)
+        (Sharded_monitor.violation_index s))
+    [ 1; 2; 4; 8 ]
+
+(* --- checkpoint capsules -------------------------------------------------- *)
+
+let test_persist_roundtrip () =
+  (* A clean stream: the capsule records a certified `Ok and rebuilds. *)
+  let h = Oracle.produce (`Stm "tl2") ~seed:42 in
+  let s, st = drive ~nshards:4 ~period:50 (History.to_list h) in
+  (match st with `Ok -> () | _ -> Alcotest.fail "expected a certified `Ok");
+  let p = Sharded_monitor.persist s in
+  (match Sharded_monitor.of_persisted ~nshards:4 p with
+  | Ok s' ->
+      Alcotest.(check bool) "rebuilt stream is `Ok" true
+        (Sharded_monitor.status s' = `Ok);
+      Alcotest.(check int) "history survives" (History.length h)
+        (History.length (Sharded_monitor.history s'))
+  | Error why -> Alcotest.failf "clean capsule rejected: %s" why);
+  (* A violating stream: the recorded failure is adopted, index intact. *)
+  let hbad, vidx = Tm_figures.Findings.corollary2_gap in
+  let sbad, _ = drive ~nshards:2 ~period:4 (History.to_list hbad) in
+  let pbad = Sharded_monitor.persist sbad in
+  match Sharded_monitor.of_persisted ~nshards:2 pbad with
+  | Ok s' ->
+      (match Sharded_monitor.status s' with
+      | `Violation _ -> ()
+      | _ -> Alcotest.fail "recorded violation not adopted");
+      Alcotest.(check (option int)) "violation index adopted" (Some vidx)
+        (Sharded_monitor.violation_index s')
+  | Error why -> Alcotest.failf "failure capsule rejected: %s" why
+
+(* --- a genuinely parallel executor --------------------------------------- *)
+
+let test_parallel_executor () =
+  let run jobs =
+    Array.map (fun job -> Domain.spawn job) jobs
+    |> Array.iter (fun d -> Domain.join d)
+  in
+  List.iter
+    (fun seed ->
+      let h = Oracle.produce `Gen ~seed in
+      let events = History.to_list h in
+      let _, st_seq = drive ~nshards:4 ~period:20 events in
+      let _, st_par = drive ~run ~nshards:4 ~period:20 events in
+      let tag = function
+        | `Ok -> "ok"
+        | `Violation _ -> "violation"
+        | `Budget _ -> "budget"
+      in
+      Alcotest.(check string)
+        (Fmt.str "seed %d: parallel ≡ sequential executor" seed)
+        (tag st_seq) (tag st_par))
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- escalation transparency on ill-formed streams ------------------------ *)
+
+let test_ill_formed_parity () =
+  (* A response with no pending invocation is rejected by History.extend;
+     the monitor turns that into a sticky violation and so, via
+     escalation, must the sharded monitor — at the same index. *)
+  let events =
+    [
+      Event.Inv (1, Event.Write (0, 1));
+      Event.Res (1, Event.Write_ok);
+      Event.Res (2, Event.Committed);
+      Event.Inv (1, Event.Try_commit);
+    ]
+  in
+  let mstat, midx = monitor_outcome events in
+  let s = Sharded_monitor.create ~max_nodes ~nshards:3 () in
+  ignore (Sharded_monitor.push_all s events);
+  ignore (Sharded_monitor.certify s);
+  (match mstat, Sharded_monitor.status s with
+  | `Violation _, `Violation _ -> ()
+  | _ -> Alcotest.fail "expected sticky violations on both paths");
+  Alcotest.(check (option int)) "same violation index" midx
+    (Sharded_monitor.violation_index s);
+  Alcotest.(check bool) "sharded path escalated" true
+    (Sharded_monitor.escalated s)
+
+let suite =
+  [
+    ( "sharded monitor",
+      [
+        prop_shard_sweep;
+        prop_incremental_engages;
+        test "Finding 3: the gap prefix stays blamed across shard counts"
+          test_corollary2_gap;
+        test "persist/of_persisted round-trips both outcomes"
+          test_persist_roundtrip;
+        test "domain-pool executor agrees with the sequential one"
+          test_parallel_executor;
+        test "ill-formed events escalate to monitor parity"
+          test_ill_formed_parity;
+      ] );
+  ]
