@@ -1182,25 +1182,103 @@ let lint_cmd =
       & pos_all string [ "lib"; "bin" ]
       & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin).")
   in
-  let run roots =
-    let findings = Analysis.Lint.scan_roots roots in
-    List.iter (fun f -> Fmt.pr "%a@." Analysis.Lint.pp_finding f) findings;
-    match findings with
-    | [] ->
-        Fmt.pr "lint: clean@.";
+  let format_arg =
+    let doc = "Output format: $(docv) ∈ text|json." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let rules_arg =
+    let doc =
+      "Comma-separated rule names to run (default: all; see --list-rules)."
+    in
+    Arg.(
+      value
+      & opt (some (Arg.list Arg.string)) None
+      & info [ "rules" ] ~docv:"RULES" ~doc)
+  in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
+  in
+  let self_test_arg =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Run every rule against its embedded positive/negative fixtures \
+             and exit non-zero if any rule is broken.")
+  in
+  let run roots format rules list_rules self_test =
+    if list_rules then begin
+      List.iter
+        (fun (name, doc) -> Fmt.pr "%-24s %s@." name doc)
+        Analysis.Lint.rule_docs;
+      0
+    end
+    else if self_test then begin
+      let results = Analysis.Lint.self_test () in
+      List.iter
+        (fun (name, ok) ->
+          Fmt.pr "%-24s %s@." name (if ok then "ok" else "BROKEN"))
+        results;
+      if List.for_all snd results then begin
+        Fmt.pr "lint self-test: %d rules ok@." (List.length results);
         0
-    | fs ->
-        Fmt.pr "lint: %d finding%s@." (List.length fs)
-          (if List.length fs = 1 then "" else "s");
+      end
+      else begin
+        Fmt.pr "lint self-test: FAILED@.";
         1
+      end
+    end
+    else begin
+      match
+        Option.map Analysis.Lint.unknown_rules rules
+      with
+      | Some (_ :: _ as unknown) ->
+          Fmt.epr "lint: unknown rule%s: %s@."
+            (if List.length unknown = 1 then "" else "s")
+            (String.concat ", " unknown);
+          2
+      | Some [] | None -> (
+          let findings =
+            Analysis.Lint.scan_roots ?rules_enabled:rules roots
+          in
+          match format with
+          | `Json ->
+              let rules_run =
+                Option.value rules ~default:Analysis.Lint.rule_names
+              in
+              print_string (Analysis.Lint.report_json ~rules_run findings);
+              if findings = [] then 0 else 1
+          | `Text -> (
+              List.iter
+                (fun f -> Fmt.pr "%a@." Analysis.Lint.pp_finding f)
+                findings;
+              match findings with
+              | [] ->
+                  Fmt.pr "lint: clean@.";
+                  0
+              | fs ->
+                  Fmt.pr "lint: %d finding%s@." (List.length fs)
+                    (if List.length fs = 1 then "" else "s");
+                  1))
+    end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Scan OCaml sources for polymorphic equality, comparison or \
-          hashing on history values (History.t / Event.t / Txn.t), which \
-          must go through the dedicated comparators")
-    Term.(const run $ roots)
+         "Run the static-analysis rule suite over OCaml sources: \
+          polymorphic comparison/hashing/equality on history values, \
+          quadratic scans in hot loops, Hashtbl iteration-order \
+          nondeterminism, unsynchronized domain-shared state, blocking \
+          calls under a mutex, swallowed exceptions, and stale lint \
+          suppressions")
+    Term.(
+      const run $ roots $ format_arg $ rules_arg $ list_rules_arg
+      $ self_test_arg)
 
 (* --- tm figures ---------------------------------------------------------- *)
 

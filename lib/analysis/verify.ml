@@ -77,8 +77,15 @@ let verdicts_of ?(graph = false) cfg (histories : (string, History.t) Hashtbl.t)
   let first_unsat = ref None and lu_first_unsat = ref None in
   let containment = ref 0 and separated = ref 0 in
   let graph_checked = ref 0 and graph_mismatch = ref 0 in
-  Hashtbl.iter
-    (fun key h ->
+  (* Judge in sorted-key order: [first_unsat] below reports the *first*
+     violating history, and hash order would make that report (and any
+     diff against it) vary across OCaml versions and key sets. *)
+  let ordered =
+    Hashtbl.fold (fun key h acc -> (key, h) :: acc) histories []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (key, h) ->
       let v = Du.check_fast ~max_nodes:cfg.max_nodes h in
       (match v with
       | Verdict.Sat _ -> incr sat
@@ -110,7 +117,7 @@ let verdicts_of ?(graph = false) cfg (histories : (string, History.t) Hashtbl.t)
             ()
         | _ -> incr graph_mismatch
       end)
-    histories;
+    ordered;
   ( {
       sat = !sat;
       unsat = !unsat;

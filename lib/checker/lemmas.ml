@@ -1,8 +1,9 @@
 let project_prefix h s i =
   let hi = History.prefix h i in
-  let txns_i = History.txns hi in
+  let txns_i = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace txns_i k ()) (History.txns hi);
   let order =
-    List.filter (fun k -> List.mem k txns_i) s.Serialization.order
+    List.filter (fun k -> Hashtbl.mem txns_i k) s.Serialization.order
   in
   let committed =
     List.filter

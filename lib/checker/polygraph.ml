@@ -122,6 +122,7 @@ let check h =
                          (Fmt.str "T%d externally reads its own write"
                             infos.(i).Txn.id))
                 | Some w ->
+                    (* lint: allow quadratic-hot-path — commit_choices ≤ 2 *)
                     if not (List.mem true (Txn.commit_choices infos.(w))) then
                       raise
                         (Contradiction

@@ -13,14 +13,17 @@ let edges h =
           match Txn.tryc_inv_index m with
           | None -> []
           | Some m_tryc ->
-              let wset = Txn.write_set m in
+              (* Hoisted to a set: the membership test runs once per read
+                 of every other transaction. *)
+              let wset = Hashtbl.create 8 in
+              List.iter (fun x -> Hashtbl.replace wset x ()) (Txn.write_set m);
               List.filter_map
                 (fun (k : Txn.t) ->
                   if k.Txn.id = m.Txn.id then None
                   else if
                     List.exists
                       (fun (r : Txn.read) ->
-                        List.mem r.Txn.var wset && r.Txn.res_index < m_tryc)
+                        Hashtbl.mem wset r.Txn.var && r.Txn.res_index < m_tryc)
                       (Txn.reads k)
                   then Some (k.Txn.id, m.Txn.id)
                   else None)

@@ -1,6 +1,10 @@
 let committed_projection h =
-  let committed = History.committed h in
-  History.project h ~keep:(fun k -> List.mem k committed)
+  (* [keep] runs once per event: membership must be O(1), not a scan of
+     the committed list (quadratic in transaction count on big recorded
+     histories). *)
+  let committed = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace committed k ()) (History.committed h);
+  History.project h ~keep:(Hashtbl.mem committed)
 
 let check ?max_nodes h =
   Search.serialize

@@ -579,6 +579,8 @@ let validate_incremental t order nv =
   match
     (* new reads of frozen transactions: their positions are below every
        appended writer's, so the frozen stacks already decide them *)
+    (* lint: allow ordering-nondeterminism — each key checked
+       independently; any failure escalates regardless of which fires *)
     Hashtbl.iter
       (fun k () ->
         match Hashtbl.find_opt t.vpos k with

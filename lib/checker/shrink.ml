@@ -6,12 +6,20 @@ let truncate_to_first_bad bad h =
   | None -> h
 
 let drop_transactions bad h =
+  (* Rebuilding [History.txns] and scanning it per candidate is O(n²) in
+     transaction count on the large repro histories this shrinker exists
+     for; a removed-set keeps the same skip semantics in O(1). *)
+  let gone = Hashtbl.create 16 in
   List.fold_left
     (fun h k ->
-      if not (List.mem k (History.txns h)) then h
+      if Hashtbl.mem gone k then h
       else
         let candidate = History.project h ~keep:(fun k' -> k' <> k) in
-        if bad candidate then candidate else h)
+        if bad candidate then begin
+          Hashtbl.replace gone k ();
+          candidate
+        end
+        else h)
     h (History.txns h)
 
 (* Candidate operation removals: the event-index pairs of each complete

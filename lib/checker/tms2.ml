@@ -15,7 +15,10 @@ let edges h =
         match tryc_res_index a with
         | None -> []
         | Some a_commit ->
-            let wset = Txn.write_set a in
+            (* Hoisted to a set: the membership test runs once per read
+               variable of every other transaction. *)
+            let wset = Hashtbl.create 8 in
+            List.iter (fun x -> Hashtbl.replace wset x ()) (Txn.write_set a);
             List.filter_map
               (fun (b : Txn.t) ->
                 if b.Txn.id = a.Txn.id then None
@@ -23,7 +26,7 @@ let edges h =
                   match Txn.tryc_inv_index b with
                   | Some b_tryc
                     when a_commit < b_tryc
-                         && List.exists (fun x -> List.mem x wset)
+                         && List.exists (Hashtbl.mem wset)
                               (Txn.read_set b) ->
                       Some (a.Txn.id, b.Txn.id)
                   | Some _ | None -> None)

@@ -198,6 +198,7 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
         List.iteri
           (fun i ev ->
             ignore (Sharded.push m ev);
+            (* lint: allow quadratic-hot-path — certify_at has ≤ 6 points *)
             if List.mem (i + 1) certify_at then ignore (Sharded.certify m))
           (History.to_list h);
         let v = Sharded.certify m in
@@ -269,6 +270,7 @@ let lockstep ?(max_nodes = 2_000_000) ?submit h =
   | _ -> ());
   List.iter
     (fun (b, vl) ->
+      (* lint: allow quadratic-hot-path — one verdict per certify point, ≤ 6 *)
       match List.assoc_opt b !inc_verdicts with
       | Some Ok3 when vl = Bad3 ->
           add Containment_violation "inc" "lu-inc"

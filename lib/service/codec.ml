@@ -144,9 +144,76 @@ let get_event r =
   else if tag = tag_res_aborted then Event.Res (tx (), Event.Aborted)
   else fail "unknown event tag %d" tag
 
+(* A whole frame's batch encodes in a single pass, mirroring the batch
+   decode below: events serialize into a scratch block with unchecked
+   byte writes, flushed to the buffer in runs — one slack test per event
+   instead of a bounds check per byte ([max_event_bytes] caps any
+   event's encoding).  [put_event] stays as the per-event reference; the
+   fuzz suite holds the two paths to byte-identical output, including
+   the partial bytes and exception of a failed encode. *)
+
 let put_events b events =
   put_uvarint b (List.length events);
-  List.iter (put_event b) events
+  let scratch = Bytes.create 8192 in
+  let pos = ref 0 in
+  let flush () =
+    Buffer.add_subbytes b scratch 0 !pos;
+    pos := 0
+  in
+  let byte v =
+    Bytes.unsafe_set scratch !pos (Char.unsafe_chr v);
+    incr pos
+  in
+  (* [put_uvarint] with the per-byte buffer pushes elided; the negative
+     guard flushes first so the buffer holds exactly the bytes the
+     reference encoder would have written before raising *)
+  let uvarint n =
+    if n < 0 then begin
+      flush ();
+      invalid_arg "Codec.put_uvarint: negative"
+    end;
+    let n = ref n in
+    while !n >= 0x80 do
+      byte (0x80 lor (!n land 0x7f));
+      n := !n lsr 7
+    done;
+    byte !n
+  in
+  let zint n = uvarint (if n >= 0 then n lsl 1 else (lnot n lsl 1) lor 1) in
+  List.iter
+    (fun ev ->
+      if Bytes.length scratch - !pos < 1 + (3 * 9) then flush ();
+      match ev with
+      | Event.Inv (k, Event.Read var) ->
+          byte tag_inv_read;
+          uvarint k;
+          uvarint var
+      | Event.Inv (k, Event.Write (var, v)) ->
+          byte tag_inv_write;
+          uvarint k;
+          uvarint var;
+          zint v
+      | Event.Inv (k, Event.Try_commit) ->
+          byte tag_inv_tryc;
+          uvarint k
+      | Event.Inv (k, Event.Try_abort) ->
+          byte tag_inv_trya;
+          uvarint k
+      | Event.Res (k, Event.Read_ok v) ->
+          byte tag_res_read;
+          uvarint k;
+          zint v
+      | Event.Res (k, Event.Write_ok) ->
+          byte tag_res_write;
+          uvarint k
+      | Event.Res (k, Event.Committed) ->
+          byte tag_res_committed;
+          uvarint k
+      | Event.Res (k, Event.Aborted) ->
+          byte tag_res_aborted;
+          uvarint k)
+    events;
+  flush ()
 
 (* A whole frame's batch decodes in a single pass: the hot loop reads
    through [r.pos] with the per-byte limit checks hoisted into one slack
@@ -258,6 +325,8 @@ let history_of_string s =
   with
   | h -> Ok h
   | exception Error msg -> Result.Error msg
+  (* lint: allow swallowed-exception — total-decoder backstop: any crash
+     on adversarial bytes must become a decode error, never a raise *)
   | exception _ -> Result.Error "undecodable history"
 
 let looks_binary s = String.length s >= 4 && String.sub s 0 4 = history_magic

@@ -49,12 +49,21 @@ val get_bytes : reader -> int -> string
 (** {1 Events} *)
 
 val put_event : Buffer.t -> Event.t -> unit
+(** Per-event reference encoder; {!put_events} is the batch fast path
+    and must stay byte-identical to iterating this. *)
+
 val get_event : reader -> Event.t
 
 val put_events : Buffer.t -> Event.t list -> unit
-(** Count-prefixed event sequence. *)
+(** Count-prefixed event sequence.  Encodes the whole batch in one pass
+    through a scratch block (one bounds test per event rather than one
+    per byte); output is byte-identical to [iter put_event], including
+    the bytes written before a failed encode raises. *)
 
 val get_events : reader -> Event.t list
+(** Batch decode; one slack test per event in the interior, per-event
+    reference decode near the frame boundary.  Byte- and
+    failure-identical to iterating {!get_event}. *)
 
 (** {1 Standalone binary histories}
 

@@ -343,6 +343,8 @@ let decode body =
   with
   | frame -> Ok frame
   | exception Codec.Error msg -> Error msg
+  (* lint: allow swallowed-exception — total-decoder backstop: any crash
+     on adversarial bytes must become a decode error, never a raise *)
   | exception _ -> Error "undecodable frame"
 
 let pp_status ppf = function

@@ -291,6 +291,8 @@ let start ?(plan = []) ?(log = ignore) ~listen ~upstream () =
 
 let sever px =
   Mutex.lock px.conns_mutex;
+  (* lint: allow ordering-nondeterminism — every conn is shut down;
+     order is immaterial *)
   Hashtbl.iter
     (fun _ (cfd, ufd) ->
       shutdown_quiet cfd;

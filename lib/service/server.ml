@@ -775,6 +775,8 @@ let sweeper srv () =
       let now = Unix.gettimeofday () in
       let expired = ref [] in
       Mutex.lock srv.reg_mutex;
+      (* lint: allow ordering-nondeterminism — expiry is per-session;
+         the collection order of the expired list is immaterial *)
       Hashtbl.iter
         (fun _ s ->
           if
@@ -918,6 +920,8 @@ let stop ?(drain = true) srv =
     (* Wake every reader blocked in a read; their reaps then drain through
        the still-running workers, so no mailbox deadlock. *)
     Mutex.lock srv.conns_mutex;
+    (* lint: allow ordering-nondeterminism — every conn gets shut down;
+       order is immaterial *)
     let conns = Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns [] in
     let readers = srv.readers in
     Mutex.unlock srv.conns_mutex;

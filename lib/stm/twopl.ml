@@ -48,6 +48,8 @@ module Make (M : Mem_intf.MEM) : Tm_intf.TM = struct
     unlock txn
 
   let rec acquire txn x =
+    (* lint: allow quadratic-hot-path — held is bounded by the write set
+       of one transaction (a handful); a set would cost more to build *)
     if List.mem x txn.held then ()
     else
       let l = M.get txn.tm.locks.(x) in

@@ -330,6 +330,76 @@ let batch_decode_prefixes () =
       done)
     Figures.catalog
 
+(* --- batched encode ≡ per-event encode ----------------------------------- *)
+
+(* [put_events] serializes a whole batch through a scratch block with
+   unchecked byte writes; this is the reference it must match bit for
+   bit — the count prefix followed by the public per-event encoder.
+   Same bytes on success; on a failed encode (negative operand), the
+   same exception and the same partial buffer contents. *)
+
+let reference_put_events b events =
+  Codec.put_uvarint b (List.length events);
+  List.iter (Codec.put_event b) events
+
+let encode_parity events =
+  let run f =
+    let b = Buffer.create 256 in
+    match f b events with
+    | () -> Ok (Buffer.contents b)
+    | exception Invalid_argument m -> Error (m, Buffer.contents b)
+  in
+  match (run Codec.put_events, run reference_put_events) with
+  | Ok s1, Ok s2 -> String.equal s1 s2
+  | Error (m1, s1), Error (m2, s2) -> String.equal m1 m2 && String.equal s1 s2
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let prop_batch_encode_valid =
+  qtest ~count:1000 "codec: batch encode = per-event encode on histories"
+    (arb_history ()) (fun h -> encode_parity (History.to_list h))
+
+(* Raw event lists with hostile operands: negative variables and
+   min_int values make the encoder raise partway through an event; the
+   batch path must leave the buffer exactly as the reference would. *)
+let gen_hostile_events =
+  let open QCheck2.Gen in
+  let hostile = oneofl [ min_int; -1; 0; 1; 5; max_int ] in
+  let ev =
+    oneof
+      [
+        map2 (fun k v -> Event.Inv (k, Event.Read v)) (1 -- 4) hostile;
+        map3
+          (fun k var v -> Event.Inv (k, Event.Write (var, v)))
+          (1 -- 4) hostile hostile;
+        map (fun k -> Event.Inv (k, Event.Try_commit)) (1 -- 4);
+        map2 (fun k v -> Event.Res (k, Event.Read_ok v)) (1 -- 4) hostile;
+        map (fun k -> Event.Res (k, Event.Committed)) (1 -- 4);
+      ]
+  in
+  list_size (0 -- 24) ev
+
+let prop_batch_encode_hostile =
+  qtest ~count:1000 "codec: batch encode = per-event encode on hostile events"
+    gen_hostile_events encode_parity
+
+let batch_encode_long () =
+  (* Enough events to overflow the scratch block several times: the
+     flush boundaries must be seamless and the result must round-trip. *)
+  let events =
+    List.concat_map
+      (fun i ->
+        [
+          Event.Inv (i + 1, Event.Write (i, (i * 7919) - 4000));
+          Event.Res (i + 1, Event.Write_ok);
+        ])
+      (List.init 2000 Fun.id)
+  in
+  Alcotest.(check bool) "parity across flushes" true (encode_parity events);
+  let r = Codec.reader (encode_events events) in
+  Alcotest.(check bool)
+    "round-trips" true
+    (List.equal Event.equal events (Codec.get_events r) && Codec.at_end r)
+
 let prop_garbage =
   qtest ~count:1000 "protocol: arbitrary bytes never crash the decoder"
     QCheck2.Gen.(string_size ~gen:(0 -- 255 |> map Char.chr) (0 -- 64))
@@ -358,6 +428,9 @@ let suite =
         prop_batch_decode_valid;
         prop_batch_decode_fuzz;
         prop_batch_decode_garbage;
+        test "batch encode = per-event encode across flushes" batch_encode_long;
+        prop_batch_encode_valid;
+        prop_batch_encode_hostile;
       ] );
     ( "protocol",
       [ prop_frame_roundtrip; prop_frame_fuzz; prop_garbage ] );
